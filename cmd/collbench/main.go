@@ -1,0 +1,115 @@
+// Command collbench measures one MPI collective on one simulated
+// machine, following the paper's benchmark procedure, and prints the
+// measured time next to the paper's Table 3 prediction.
+//
+// Usage:
+//
+//	collbench -machine T3D -op alltoall -p 64 -m 512
+//	collbench -machine SP2 -op barrier -p 32 -paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		machName = flag.String("machine", "T3D", "SP2, T3D, or Paragon")
+		opName   = flag.String("op", "alltoall", "barrier, broadcast, gather, scatter, reduce, scan, alltoall, allgather, allreduce")
+		p        = flag.Int("p", 64, "machine size (nodes)")
+		m        = flag.Int("m", 1024, "message length per node pair (bytes)")
+		k        = flag.Int("k", 20, "timed iterations per execution")
+		reps     = flag.Int("reps", 5, "independent executions")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		paperCfg = flag.Bool("paper", false, "use the paper's full procedure (equivalent to -k 20 -reps 5)")
+		traceRun = flag.Bool("trace", false, "run one extra instance with network tracing and print the transfer report")
+	)
+	flag.Parse()
+
+	mach := machine.ByName(*machName)
+	if mach == nil {
+		fmt.Fprintf(os.Stderr, "collbench: unknown machine %q\n", *machName)
+		os.Exit(2)
+	}
+	op := machine.Op(*opName)
+	cfg := measure.Config{Warmup: 2, K: *k, Reps: *reps, Seed: *seed}
+	if *paperCfg {
+		cfg = measure.Paper()
+	}
+	msg := *m
+	if op == machine.OpBarrier {
+		msg = 0
+	}
+
+	s := measure.MeasureOp(mach, op, *p, msg, cfg)
+	fmt.Printf("%s %s  p=%d  m=%d bytes  (k=%d, %d reps)\n",
+		s.Machine, s.Op, s.P, s.M, cfg.K, cfg.Reps)
+	fmt.Printf("  measured: %.1f µs  (min %.1f, max %.1f across executions)\n",
+		s.Micros, s.MinMicros, s.MaxMicros)
+
+	pr := model.FromPaper()
+	if _, ok := pr.Expression(mach.Name(), op); ok {
+		want := pr.Time(mach.Name(), op, msg, *p)
+		fmt.Printf("  paper fit: %.1f µs  (ratio %.2f)\n", want, s.Micros/want)
+	} else {
+		fmt.Printf("  paper fit: n/a (%s is not in Table 3)\n", op)
+	}
+
+	if *traceRun {
+		fmt.Println("\ntrace of one instance:")
+		cl := machine.NewCluster(mach, *p, *seed)
+		rec := trace.Attach(cl.Net())
+		if err := mpi.RunCluster(cl, func(c *mpi.Comm) { traceBody(c, op, msg) }); err != nil {
+			fmt.Fprintln(os.Stderr, "collbench: trace run:", err)
+			os.Exit(1)
+		}
+		rec.WriteReport(os.Stdout, 8)
+	}
+}
+
+// traceBody executes one collective instance for the -trace run.
+func traceBody(c *mpi.Comm, op machine.Op, msg int) {
+	blocks := func() [][]byte {
+		bs := make([][]byte, c.Size())
+		for i := range bs {
+			bs[i] = make([]byte, msg)
+		}
+		return bs
+	}
+	switch op {
+	case machine.OpBarrier:
+		c.Barrier()
+	case machine.OpBroadcast:
+		var in []byte
+		if c.Rank() == 0 {
+			in = make([]byte, msg)
+		}
+		c.Bcast(0, in)
+	case machine.OpGather:
+		c.Gather(0, make([]byte, msg))
+	case machine.OpScatter:
+		var in [][]byte
+		if c.Rank() == 0 {
+			in = blocks()
+		}
+		c.Scatter(0, in)
+	case machine.OpAlltoall:
+		c.Alltoall(blocks())
+	case machine.OpReduce:
+		c.Reduce(0, make([]byte, msg), mpi.Sum, mpi.Float)
+	case machine.OpScan:
+		c.Scan(make([]byte, msg), mpi.Sum, mpi.Float)
+	case machine.OpAllgather:
+		c.Allgather(make([]byte, msg))
+	case machine.OpAllreduce:
+		c.Allreduce(make([]byte, msg), mpi.Sum, mpi.Float)
+	}
+}

@@ -1,0 +1,111 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section from simulator measurements.
+//
+// Usage:
+//
+//	figures -artifact fig1          # startup latencies (Fig. 1)
+//	figures -artifact table3        # refit the timing expressions
+//	figures -artifact spot          # the paper's quoted spot values
+//	figures -artifact all           # everything
+//	figures -artifact fig2 -csv     # CSV for external plotting
+//	figures -artifact fig1 -paper   # full paper methodology (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/model"
+	"repro/internal/paper"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "all", "fig1..fig5, table3, spot, or all")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables (figures only)")
+		paperCfg = flag.Bool("paper", false, "paper-faithful methodology (k=20, 5 reps; slow)")
+		maxP     = flag.Int("maxp", 0, "cap the machine-size sweep (0 = paper sweep)")
+	)
+	flag.Parse()
+
+	cfg := measure.Fast()
+	if *paperCfg {
+		cfg = measure.Paper()
+	}
+	opts := []core.Option{}
+	if *maxP > 0 {
+		opts = append(opts, core.WithMaxNodes(*maxP))
+	}
+	e := core.New(cfg, opts...)
+	out := os.Stdout
+
+	run := func(id string) {
+		switch id {
+		case "fig1":
+			for _, f := range e.Fig1() {
+				emit(&f, *csv)
+			}
+		case "fig2":
+			for _, f := range e.Fig2() {
+				emit(&f, *csv)
+			}
+		case "fig3":
+			for _, f := range e.Fig3() {
+				emit(&f, *csv)
+			}
+		case "fig4":
+			rows := e.Fig4()
+			fmt.Fprintln(out, "Fig. 4: startup (#) / transmission (·) breakdown (p=32, m=1 KB)")
+			var bars []report.Bar
+			for _, r := range rows {
+				bars = append(bars, report.NewStackedBar(
+					fmt.Sprintf("%s/%s", r.Machine, r.Op), r.Startup, r.Transmission))
+			}
+			report.BarChart(out, "", "µs", bars, 50)
+		case "fig5":
+			rows := e.Fig5()
+			fmt.Fprintln(out, "Fig. 5: aggregated bandwidths R∞(p); paper values in parentheses")
+			pr := model.FromPaper()
+			var bars []report.Bar
+			for _, r := range rows {
+				ref := pr.Bandwidth(r.Machine, r.Op, r.P)
+				bars = append(bars, report.NewBar(
+					fmt.Sprintf("%s/%s p=%d (paper %.0f)", r.Machine, r.Op, r.P, ref), r.MBs))
+			}
+			report.BarChart(out, "", "MB/s", bars, 50)
+		case "table3":
+			fitted := e.Table3()
+			report.WriteExpressionTable(out,
+				"Table 3: timing expressions (µs; m in bytes; log base 2)",
+				e.Table3Rows(fitted))
+		case "spot":
+			report.WriteComparisons(out, "Paper spot values vs reproduction", e.SpotChecks())
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown artifact %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *artifact == "all" {
+		for _, a := range paper.Artifacts {
+			run(a.ID)
+			fmt.Fprintln(out)
+		}
+		run("spot")
+	} else {
+		run(*artifact)
+	}
+}
+
+func emit(f *report.Figure, csv bool) {
+	if csv {
+		f.WriteCSV(os.Stdout)
+	} else {
+		f.WriteTable(os.Stdout)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,63 @@
+// Command predict evaluates the paper's closed-form timing expressions
+// analytically — the use the paper proposes for them: estimating
+// communication overhead, ranking machines, and locating crossovers
+// without running anything.
+//
+// Usage:
+//
+//	predict -op alltoall -p 64 -m 512
+//	predict -op broadcast -p 32 -m 65536 -crossover SP2,Paragon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		opName    = flag.String("op", "alltoall", "collective operation (Table 3 row)")
+		p         = flag.Int("p", 64, "machine size (nodes)")
+		m         = flag.Int("m", 1024, "message length per node pair (bytes)")
+		crossover = flag.String("crossover", "", "pair \"A,B\": message size where B overtakes A")
+	)
+	flag.Parse()
+
+	pr := model.FromPaper()
+	op := machine.Op(*opName)
+	if _, ok := pr.Expression("T3D", op); !ok {
+		fmt.Fprintf(os.Stderr, "predict: %q is not a Table 3 operation\n", *opName)
+		os.Exit(2)
+	}
+
+	msg := *m
+	if op == machine.OpBarrier {
+		msg = 0
+	}
+	fmt.Printf("%s  p=%d  m=%d bytes (paper Table 3 expressions)\n", op, *p, msg)
+	for _, mach := range pr.Rank(op, msg, *p) {
+		e, _ := pr.Expression(mach, op)
+		fmt.Printf("  %-8s T=%12.1f µs   T0=%10.1f µs   R∞=%8.0f MB/s   %s\n",
+			mach, pr.Time(mach, op, msg, *p), pr.Startup(mach, op, *p),
+			pr.Bandwidth(mach, op, *p), e)
+	}
+
+	if *crossover != "" {
+		parts := strings.SplitN(*crossover, ",", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "predict: -crossover wants \"A,B\"")
+			os.Exit(2)
+		}
+		a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		if at, ok := pr.Crossover(a, b, op, *p, 4, 1<<20); ok {
+			fmt.Printf("crossover: %s overtakes %s at m ≈ %d bytes (p=%d)\n", b, a, at, *p)
+		} else {
+			fmt.Printf("crossover: %s never overtakes %s for m ≤ 1 MB (p=%d)\n", b, a, *p)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package coll
+
+// AllgatherRing collects one equal-size block from every rank at every
+// rank using p-1 ring steps: each step, pass along the block received in
+// the previous step. Total traffic m(p-1) per node, perfectly balanced.
+func AllgatherRing(t Transport, mine []byte) [][]byte {
+	p := t.Size()
+	rank := t.Rank()
+	out := make([][]byte, p)
+	out[rank] = mine
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	carry := mine
+	hold := rank // rank whose block I am carrying
+	for step := 0; step < p-1; step++ {
+		t.Send(next, tagGatherv+step<<8, carry)
+		carry = t.Recv(prev, tagGatherv+step<<8)
+		hold = (hold - 1 + p) % p
+		out[hold] = carry
+	}
+	return out
+}
+
+// AllgatherGatherBcast collects blocks at rank 0 with a binomial gather
+// and redistributes with a binomial broadcast — the simple composite the
+// early MPICH used.
+func AllgatherGatherBcast(t Transport, mine []byte) [][]byte {
+	p := t.Size()
+	gathered := GatherBinomial(t, 0, mine)
+	var buf []byte
+	if t.Rank() == 0 {
+		buf = concat(gathered)
+	}
+	buf = BcastBinomial(t, 0, buf)
+	return split(buf, p)
+}

@@ -1,0 +1,34 @@
+package coll
+
+// AllreduceReduceBcast reduces to rank 0 and broadcasts the result —
+// the composite of two binomial trees, 2·⌈log2 p⌉ stages.
+func AllreduceReduceBcast(t Transport, mine []byte, f Combiner) []byte {
+	res := ReduceBinomial(t, 0, mine, f)
+	return BcastBinomial(t, 0, res)
+}
+
+// AllreduceRecursiveDoubling reduces in ⌈log2 p⌉ full-exchange rounds
+// when p is a power of two: in round d, rank r exchanges partials with
+// r XOR 2^d and both combine. For other p it falls back to
+// AllreduceReduceBcast. Operands still combine in rank order.
+func AllreduceRecursiveDoubling(t Transport, mine []byte, f Combiner) []byte {
+	p := t.Size()
+	if p&(p-1) != 0 {
+		return AllreduceReduceBcast(t, mine, f)
+	}
+	rank := t.Rank()
+	acc := mine
+	round := 0
+	for d := 1; d < p; d <<= 1 {
+		peer := rank ^ d
+		t.Send(peer, tagReduce+0x100+round<<9, acc)
+		in := t.Recv(peer, tagReduce+0x100+round<<9)
+		if peer < rank {
+			acc = t.Combine(in, acc, f) // peer's span precedes mine
+		} else {
+			acc = t.Combine(acc, in, f)
+		}
+		round++
+	}
+	return acc
+}

@@ -1,0 +1,85 @@
+package coll
+
+var empty = []byte{}
+
+// BarrierCentral synchronizes via a central coordinator: everyone
+// reports to rank 0, which then releases everyone. O(p) at the root.
+func BarrierCentral(t Transport) {
+	p := t.Size()
+	if p == 1 {
+		return
+	}
+	if t.Rank() == 0 {
+		for r := 1; r < p; r++ {
+			t.Recv(r, tagBarrier)
+		}
+		for r := 1; r < p; r++ {
+			t.Send(r, tagRelease, empty)
+		}
+		return
+	}
+	t.Send(0, tagBarrier, empty)
+	t.Recv(0, tagRelease)
+}
+
+// BarrierTree synchronizes with a binomial fan-in to rank 0 followed by
+// a binomial release — 2·⌈log2 p⌉ message stages on the critical path.
+// This is the MPICH shape behind the paper's 123·logp (SP2) and
+// 147·logp (Paragon) barrier fits.
+func BarrierTree(t Transport) {
+	p := t.Size()
+	if p == 1 {
+		return
+	}
+	v := t.Rank() // root 0
+
+	// Fan-in: collect from children, report to parent.
+	mask := 1
+	for mask < p {
+		if v&mask != 0 {
+			t.Send(v-mask, tagBarrier, empty)
+			break
+		}
+		if v|mask < p {
+			t.Recv(v|mask, tagBarrier)
+		}
+		mask <<= 1
+	}
+	// Release: mirror of the binomial broadcast.
+	if v != 0 {
+		mask = 1
+		for mask < p {
+			if v&mask != 0 {
+				t.Recv(v-mask, tagRelease)
+				break
+			}
+			mask <<= 1
+		}
+	} else {
+		mask = 1
+		for mask < p {
+			mask <<= 1
+		}
+	}
+	mask >>= 1
+	for mask > 0 {
+		if v+mask < p {
+			t.Send(v+mask, tagRelease, empty)
+		}
+		mask >>= 1
+	}
+}
+
+// BarrierDissemination synchronizes in ⌈log2 p⌉ rounds; in round k every
+// rank signals (rank+2^k) mod p and waits for (rank−2^k) mod p. Each
+// rank sends and receives exactly ⌈log2 p⌉ messages.
+func BarrierDissemination(t Transport) {
+	p := t.Size()
+	rank := t.Rank()
+	round := 0
+	for dist := 1; dist < p; dist <<= 1 {
+		t.Send((rank+dist)%p, tagBarrier+round<<8, empty)
+		t.Recv((rank-dist+p)%p, tagBarrier+round<<8)
+		round++
+	}
+}

@@ -1,0 +1,51 @@
+package coll
+
+// BcastLinear broadcasts data from root by p-1 sequential sends. O(p)
+// root-bound time; the baseline the tree algorithms beat.
+func BcastLinear(t Transport, root int, data []byte) []byte {
+	p := t.Size()
+	if p == 1 {
+		return data
+	}
+	if t.Rank() == root {
+		for r := 0; r < p; r++ {
+			if r != root {
+				t.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return t.Recv(root, tagBcast)
+}
+
+// BcastBinomial broadcasts data from root along a binomial tree in
+// ⌈log2 p⌉ stages — the MPICH algorithm, and equivalent in depth to the
+// EPCC MPI unbalanced tree the paper cites for the T3D [6]. Startup
+// latency grows logarithmically in p, which is the Fig. 1a shape.
+func BcastBinomial(t Transport, root int, data []byte) []byte {
+	p := t.Size()
+	if p == 1 {
+		return data
+	}
+	rank := t.Rank()
+	v := vrank(rank, root, p)
+
+	// Receive phase: my parent is v minus my lowest set bit.
+	mask := 1
+	for mask < p {
+		if v&mask != 0 {
+			data = t.Recv(unvrank(v-mask, root, p), tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward phase: serve subtrees below my entry mask.
+	mask >>= 1
+	for mask > 0 {
+		if v+mask < p {
+			t.Send(unvrank(v+mask, root, p), tagBcast, data)
+		}
+		mask >>= 1
+	}
+	return data
+}

@@ -1,0 +1,58 @@
+package coll
+
+// Blocks of equal size are the unit of data in gather/scatter/alltoall:
+// the paper's m is the per-pair message length, so a p-node gather moves
+// p-1 blocks of m bytes each. Equal-size blocks concatenate losslessly,
+// which lets tree algorithms ship whole subtrees as one message.
+
+// concat joins blocks into one contiguous buffer.
+func concat(blocks [][]byte) []byte {
+	n := 0
+	for _, b := range blocks {
+		n += len(b)
+	}
+	out := make([]byte, 0, n)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// split cuts buf into count equal blocks. len(buf) must be divisible by
+// count; count 0 returns nil.
+func split(buf []byte, count int) [][]byte {
+	if count == 0 {
+		return nil
+	}
+	if len(buf)%count != 0 {
+		panic("coll: buffer not divisible into equal blocks")
+	}
+	size := len(buf) / count
+	out := make([][]byte, count)
+	for i := range out {
+		out[i] = buf[i*size : (i+1)*size : (i+1)*size]
+	}
+	return out
+}
+
+// clone copies b; algorithms clone before mutating shared buffers.
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// checkUniform panics unless all blocks have equal length (the MPI
+// contract for the fixed-count collectives).
+func checkUniform(blocks [][]byte) int {
+	if len(blocks) == 0 {
+		return 0
+	}
+	size := len(blocks[0])
+	for _, b := range blocks[1:] {
+		if len(b) != size {
+			panic("coll: blocks must have uniform size")
+		}
+	}
+	return size
+}

@@ -1,0 +1,447 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testSizes covers the paper's machine sizes (2..128) plus odd sizes
+// that stress non-power-of-two tree handling.
+var testSizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 32}
+
+// payload returns a deterministic distinct payload for (rank, i).
+func payload(rank, i, size int) []byte {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte(rank*31 + i*7 + j)
+	}
+	return b
+}
+
+// catCombiner concatenates operands — associative, NON-commutative, so
+// it detects any algorithm that combines out of rank order.
+func catCombiner(a, b []byte) []byte { return append(clone(a), b...) }
+
+func TestBcastAllAlgorithmsAllRootsDeliver(t *testing.T) {
+	for name, alg := range Bcasts {
+		for _, p := range testSizes {
+			for root := 0; root < p; root += 3 {
+				msg := payload(root, 0, 17)
+				res := runSPMD(p, func(tr Transport) []byte {
+					var in []byte
+					if tr.Rank() == root {
+						in = msg
+					}
+					return alg(tr, root, in)
+				})
+				for r, got := range res {
+					if !bytes.Equal(got, msg) {
+						t.Fatalf("%s p=%d root=%d: rank %d got %v", name, p, root, r, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGatherAllAlgorithmsCollectInRankOrder(t *testing.T) {
+	for name, alg := range Gathers {
+		for _, p := range testSizes {
+			for root := 0; root < p; root += 2 {
+				res := runSPMD(p, func(tr Transport) [][]byte {
+					return alg(tr, root, payload(tr.Rank(), 0, 8))
+				})
+				for r, got := range res {
+					if r != root {
+						if got != nil {
+							t.Fatalf("%s p=%d: non-root %d returned data", name, p, r)
+						}
+						continue
+					}
+					if len(got) != p {
+						t.Fatalf("%s p=%d root=%d: %d blocks", name, p, root, len(got))
+					}
+					for i, b := range got {
+						if !bytes.Equal(b, payload(i, 0, 8)) {
+							t.Fatalf("%s p=%d root=%d: block %d wrong", name, p, root, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGatherZeroByteBlocks(t *testing.T) {
+	for name, alg := range Gathers {
+		res := runSPMD(8, func(tr Transport) [][]byte {
+			return alg(tr, 0, []byte{})
+		})
+		if len(res[0]) != 8 {
+			t.Fatalf("%s: zero-byte gather returned %d blocks", name, len(res[0]))
+		}
+	}
+}
+
+func TestScatterAllAlgorithmsDistribute(t *testing.T) {
+	for name, alg := range Scatters {
+		for _, p := range testSizes {
+			for root := 0; root < p; root += 2 {
+				res := runSPMD(p, func(tr Transport) []byte {
+					var blocks [][]byte
+					if tr.Rank() == root {
+						blocks = make([][]byte, p)
+						for i := range blocks {
+							blocks[i] = payload(i, 1, 12)
+						}
+					}
+					return alg(tr, root, blocks)
+				})
+				for r, got := range res {
+					if !bytes.Equal(got, payload(r, 1, 12)) {
+						t.Fatalf("%s p=%d root=%d: rank %d got wrong block", name, p, root, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	p := 16
+	res := runSPMD(p, func(tr Transport) [][]byte {
+		var blocks [][]byte
+		if tr.Rank() == 3 {
+			blocks = make([][]byte, p)
+			for i := range blocks {
+				blocks[i] = payload(i, 2, 10)
+			}
+		}
+		mine := ScatterBinomial(tr, 3, blocks)
+		return GatherBinomial(tr, 3, mine)
+	})
+	for i, b := range res[3] {
+		if !bytes.Equal(b, payload(i, 2, 10)) {
+			t.Fatalf("round trip corrupted block %d", i)
+		}
+	}
+}
+
+func TestAlltoallAllAlgorithmsExchange(t *testing.T) {
+	for name, alg := range Alltoalls {
+		for _, p := range testSizes {
+			res := runSPMD(p, func(tr Transport) [][]byte {
+				blocks := make([][]byte, p)
+				for d := range blocks {
+					blocks[d] = mkAlltoallBlock(tr.Rank(), d, 6)
+				}
+				return alg(tr, blocks)
+			})
+			for me, got := range res {
+				if len(got) != p {
+					t.Fatalf("%s p=%d: rank %d has %d blocks", name, p, me, len(got))
+				}
+				for src, b := range got {
+					if !bytes.Equal(b, mkAlltoallBlock(src, me, 6)) {
+						t.Fatalf("%s p=%d: rank %d block from %d wrong: %v", name, p, me, src, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func mkAlltoallBlock(src, dst, size int) []byte {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte(src*37 + dst*11 + j)
+	}
+	return b
+}
+
+func TestAlltoallZeroBytes(t *testing.T) {
+	for name, alg := range Alltoalls {
+		res := runSPMD(8, func(tr Transport) [][]byte {
+			blocks := make([][]byte, 8)
+			for i := range blocks {
+				blocks[i] = []byte{}
+			}
+			return alg(tr, blocks)
+		})
+		for r := range res {
+			if len(res[r]) != 8 {
+				t.Fatalf("%s: zero-byte alltoall lost blocks at rank %d", name, r)
+			}
+		}
+	}
+}
+
+func TestReduceAllAlgorithmsRankOrder(t *testing.T) {
+	for name, alg := range Reduces {
+		for _, p := range testSizes {
+			for root := 0; root < p; root += 3 {
+				res := runSPMD(p, func(tr Transport) []byte {
+					return alg(tr, root, []byte{byte(tr.Rank())}, catCombiner)
+				})
+				// Non-commutative combiner: result must be 0,1,…,p-1.
+				want := make([]byte, p)
+				for i := range want {
+					want[i] = byte(i)
+				}
+				if !bytes.Equal(res[root], want) {
+					t.Fatalf("%s p=%d root=%d: reduce order %v, want %v", name, p, root, res[root], want)
+				}
+				for r := range res {
+					if r != root && res[r] != nil {
+						t.Fatalf("%s: non-root %d has a result", name, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScanAllAlgorithmsInclusivePrefix(t *testing.T) {
+	for name, alg := range Scans {
+		for _, p := range testSizes {
+			res := runSPMD(p, func(tr Transport) []byte {
+				return alg(tr, []byte{byte(tr.Rank())}, catCombiner)
+			})
+			for r, got := range res {
+				want := make([]byte, r+1)
+				for i := range want {
+					want[i] = byte(i)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s p=%d: rank %d prefix %v, want %v", name, p, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierAllAlgorithmsComplete(t *testing.T) {
+	// A barrier's correctness (no rank exits before all enter) is a
+	// timing property verified in the mpi package tests; here we verify
+	// completion (no deadlock, no stray messages) across sizes,
+	// including back-to-back barriers reusing tags.
+	for name, alg := range Barriers {
+		for _, p := range testSizes {
+			done := runSPMD(p, func(tr Transport) bool {
+				for i := 0; i < 3; i++ {
+					alg(tr)
+				}
+				return true
+			})
+			for r, ok := range done {
+				if !ok {
+					t.Fatalf("%s p=%d: rank %d incomplete", name, p, r)
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherAllAlgorithms(t *testing.T) {
+	for name, alg := range Allgathers {
+		for _, p := range testSizes {
+			res := runSPMD(p, func(tr Transport) [][]byte {
+				return alg(tr, payload(tr.Rank(), 4, 9))
+			})
+			for me, got := range res {
+				if len(got) != p {
+					t.Fatalf("%s p=%d: rank %d has %d blocks", name, p, me, len(got))
+				}
+				for src, b := range got {
+					if !bytes.Equal(b, payload(src, 4, 9)) {
+						t.Fatalf("%s p=%d: rank %d block %d wrong", name, p, me, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceAllAlgorithmsRankOrder(t *testing.T) {
+	for name, alg := range Allreduces {
+		for _, p := range testSizes {
+			res := runSPMD(p, func(tr Transport) []byte {
+				return alg(tr, []byte{byte(tr.Rank())}, catCombiner)
+			})
+			want := make([]byte, p)
+			for i := range want {
+				want[i] = byte(i)
+			}
+			for r, got := range res {
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s p=%d: rank %d got %v, want %v", name, p, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	// Sum of subtree sizes of a root's children plus the root itself
+	// must equal p, for every p.
+	for p := 1; p <= 64; p++ {
+		total := 1 // vrank 0
+		for mask := 1; mask < p; mask <<= 1 {
+			if mask < p {
+				total += subtreeSize(mask, p)
+			}
+		}
+		if total != p {
+			t.Fatalf("p=%d: subtree sizes sum to %d", p, total)
+		}
+	}
+}
+
+func TestSplitConcatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(16)
+		size := rng.Intn(32)
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = payload(i, trial, size)
+		}
+		got := split(concat(blocks), n)
+		if len(got) != n {
+			t.Fatalf("split returned %d blocks, want %d", len(got), n)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], blocks[i]) {
+				t.Fatalf("block %d corrupted", i)
+			}
+		}
+	}
+}
+
+func TestSplitRejectsUneven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	split(make([]byte, 10), 3)
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Names(Alltoalls)
+	if len(names) != 4 {
+		t.Fatalf("alltoall registry has %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+// Fuzz-style property check: for random sizes and roots, gather ∘
+// scatter is the identity under both algorithm families.
+func TestPropertyScatterGatherIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		p := 1 + rng.Intn(20)
+		root := rng.Intn(p)
+		size := rng.Intn(24)
+		sName := Names(Scatters)[rng.Intn(len(Scatters))]
+		gName := Names(Gathers)[rng.Intn(len(Gathers))]
+		scatter, gather := Scatters[sName], Gathers[gName]
+		blocks := make([][]byte, p)
+		for i := range blocks {
+			blocks[i] = payload(i, trial, size)
+		}
+		res := runSPMD(p, func(tr Transport) [][]byte {
+			var in [][]byte
+			if tr.Rank() == root {
+				in = blocks
+			}
+			return gather(tr, root, scatter(tr, root, in))
+		})
+		for i, b := range res[root] {
+			if !bytes.Equal(b, blocks[i]) {
+				t.Fatalf("trial %d (%s∘%s p=%d root=%d): block %d corrupted",
+					trial, gName, sName, p, root, i)
+			}
+		}
+	}
+}
+
+// Property: alltoall is an involution when every rank's blocks are
+// symmetric (block[i][j] == block[j][i] pattern): running it twice
+// returns the original matrix row.
+func TestPropertyAlltoallTwiceRestoresMatrix(t *testing.T) {
+	for name, alg := range Alltoalls {
+		p := 9
+		res := runSPMD(p, func(tr Transport) [][]byte {
+			blocks := make([][]byte, p)
+			for d := range blocks {
+				blocks[d] = mkAlltoallBlock(tr.Rank(), d, 5)
+			}
+			return alg(tr, alg(tr, blocks))
+		})
+		for me, got := range res {
+			for d, b := range got {
+				if !bytes.Equal(b, mkAlltoallBlock(me, d, 5)) {
+					t.Fatalf("%s: double alltoall did not restore (%d,%d)", name, me, d)
+				}
+			}
+		}
+	}
+}
+
+func ExampleBcastBinomial() {
+	res := runSPMD(4, func(tr Transport) []byte {
+		var msg []byte
+		if tr.Rank() == 0 {
+			msg = []byte("hello")
+		}
+		return BcastBinomial(tr, 0, msg)
+	})
+	fmt.Println(string(res[3]))
+	// Output: hello
+}
+
+func TestBcastPipelinedAllRootsAndSizes(t *testing.T) {
+	for _, p := range testSizes {
+		for root := 0; root < p; root += 2 {
+			for _, size := range []int{0, 100, 5000, 13000} {
+				msg := payload(root, size, size)
+				res := runSPMD(p, func(tr Transport) []byte {
+					var in []byte
+					if tr.Rank() == root {
+						in = msg
+					}
+					return BcastPipelined(tr, root, in, 4096)
+				})
+				for r, got := range res {
+					if !bytes.Equal(got, msg) {
+						t.Fatalf("p=%d root=%d size=%d: rank %d got %d bytes",
+							p, root, size, r, len(got))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBcastPipelinedTinySegments(t *testing.T) {
+	msg := payload(0, 1, 777)
+	res := runSPMD(5, func(tr Transport) []byte {
+		var in []byte
+		if tr.Rank() == 0 {
+			in = msg
+		}
+		return BcastPipelined(tr, 0, in, 64)
+	})
+	for r, got := range res {
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("rank %d corrupted with 64-byte segments", r)
+		}
+	}
+}

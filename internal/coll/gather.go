@@ -1,0 +1,77 @@
+package coll
+
+// GatherLinear collects one equal-size block from every rank at root:
+// each rank sends directly, the root drains p-1 messages. Startup grows
+// linearly in p (the Fig. 1d shape); the root's ejection port and
+// per-message receive cost are the bottleneck, which is exactly the
+// paper's account of the Paragon's 48 µs-per-message NX gather. Returns
+// the blocks in rank order on root, nil elsewhere.
+func GatherLinear(t Transport, root int, mine []byte) [][]byte {
+	p := t.Size()
+	rank := t.Rank()
+	if rank != root {
+		t.Send(root, tagGather, mine)
+		return nil
+	}
+	out := make([][]byte, p)
+	out[root] = mine
+	for r := 0; r < p; r++ {
+		if r != root {
+			out[r] = t.Recv(r, tagGather)
+		}
+	}
+	return out
+}
+
+// GatherBinomial collects blocks along a binomial tree: each interior
+// node forwards its whole subtree's data as one message, halving the
+// message count at the cost of retransmitting data. ⌈log2 p⌉ stages.
+func GatherBinomial(t Transport, root int, mine []byte) [][]byte {
+	p := t.Size()
+	rank := t.Rank()
+	size := len(mine)
+	v := vrank(rank, root, p)
+
+	// sub holds blocks for vranks [v, v+extent) gathered so far.
+	sub := [][]byte{mine}
+	mask := 1
+	for mask < p {
+		if v&mask != 0 {
+			// Ship my subtree to my parent as one message.
+			t.Send(unvrank(v-mask, root, p), tagGather, concat(sub))
+			return nil
+		}
+		if v|mask < p {
+			buf := t.Recv(unvrank(v|mask, root, p), tagGather)
+			n := len(sub) // peer subtree is at most as large as mine
+			if size > 0 {
+				n = len(buf) / size
+			} else {
+				n = subtreeSize(v|mask, p)
+			}
+			sub = append(sub, split(buf, n)...)
+		}
+		mask <<= 1
+	}
+	// v == 0: rotate from vrank order back to rank order.
+	out := make([][]byte, p)
+	for i, b := range sub {
+		out[unvrank(i, root, p)] = b
+	}
+	return out
+}
+
+// subtreeSize returns the number of vranks in the binomial subtree
+// rooted at v in a tree over p nodes.
+func subtreeSize(v, p int) int {
+	// The subtree at v spans [v, min(v+low, p)) where low is the lowest
+	// set bit of v (or p for v = 0).
+	if v == 0 {
+		return p
+	}
+	low := v & -v
+	if v+low > p {
+		return p - v
+	}
+	return low
+}

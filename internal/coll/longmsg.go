@@ -1,0 +1,66 @@
+package coll
+
+// Long-message algorithms the mid-90s libraries were just adopting;
+// included as ablations against the tree/linear algorithms the studied
+// machines shipped.
+
+// BcastScatterAllgather broadcasts by splitting the message into p
+// pieces, scattering them binomially, and ring-allgathering the pieces —
+// the van de Geijn algorithm. It moves 2·m·(p-1)/p bytes per node
+// instead of the binomial tree's m·log p on the critical path, winning
+// for long messages. The payload is padded to a multiple of p and
+// trimmed on return.
+func BcastScatterAllgather(t Transport, root int, data []byte) []byte {
+	p := t.Size()
+	if p == 1 {
+		return data
+	}
+	size := len(data)
+	// All non-root ranks must know the true length to trim; ship it in
+	// a tiny header block alongside the scatter by padding to p pieces.
+	var blocks [][]byte
+	if t.Rank() == root {
+		padded := len(data)
+		if rem := padded % p; rem != 0 {
+			padded += p - rem
+		}
+		buf := make([]byte, padded)
+		copy(buf, data)
+		blocks = split(buf, p)
+	}
+	mine := ScatterBinomial(t, root, blocks)
+	pieces := AllgatherRing(t, mine)
+	full := concat(pieces)
+
+	// Non-root ranks learn the original size from the root's header.
+	if t.Rank() == root {
+		hdr := []byte{byte(size), byte(size >> 8), byte(size >> 16), byte(size >> 24)}
+		for r := 0; r < p; r++ {
+			if r != root {
+				t.Send(r, tagBcast+0x40, hdr)
+			}
+		}
+		return data
+	}
+	hdr := t.Recv(root, tagBcast+0x40)
+	size = int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+	return full[:size]
+}
+
+// AllreduceRabenseifner combines a recursive-halving reduce-scatter with
+// a ring allgather: each node moves O(m) bytes instead of the O(m·log p)
+// of recursive doubling, the long-message allreduce of choice. Requires
+// a commutative combiner; the payload must split into p equal blocks
+// (it is padded if not) — here we require divisibility for clarity and
+// fall back to AllreduceReduceBcast otherwise.
+func AllreduceRabenseifner(t Transport, mine []byte, f Combiner) []byte {
+	p := t.Size()
+	if p == 1 {
+		return mine
+	}
+	if p&(p-1) != 0 || len(mine)%p != 0 {
+		return AllreduceReduceBcast(t, mine, f)
+	}
+	myBlock := ReduceScatter(t, split(mine, p), f)
+	return concat(AllgatherRing(t, myBlock))
+}

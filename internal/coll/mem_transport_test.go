@@ -1,0 +1,67 @@
+package coll
+
+import (
+	"fmt"
+	"sync"
+)
+
+// memFabric is an in-memory message fabric for correctness tests: p
+// goroutines exchange messages over per-(src,dst,tag) buffered channels.
+// It has no notion of time — only delivery and ordering semantics.
+type memFabric struct {
+	p  int
+	mu sync.Mutex
+	ch map[string]chan []byte
+}
+
+func newMemFabric(p int) *memFabric {
+	return &memFabric{p: p, ch: make(map[string]chan []byte)}
+}
+
+func (f *memFabric) chanFor(src, dst, tag int) chan []byte {
+	key := fmt.Sprintf("%d/%d/%d", src, dst, tag)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.ch[key]
+	if !ok {
+		c = make(chan []byte, 4096)
+		f.ch[key] = c
+	}
+	return c
+}
+
+// memTransport is one rank's endpoint on a memFabric.
+type memTransport struct {
+	f    *memFabric
+	rank int
+}
+
+func (t *memTransport) Rank() int { return t.rank }
+func (t *memTransport) Size() int { return t.f.p }
+
+func (t *memTransport) Send(dst, tag int, data []byte) {
+	t.f.chanFor(t.rank, dst, tag) <- clone(data)
+}
+
+func (t *memTransport) Recv(src, tag int) []byte {
+	return <-t.f.chanFor(src, t.rank, tag)
+}
+
+func (t *memTransport) Combine(a, b []byte, f Combiner) []byte { return f(a, b) }
+
+// runSPMD runs body on p concurrent ranks and returns per-rank results.
+func runSPMD[T any](p int, body func(t Transport) T) []T {
+	f := newMemFabric(p)
+	out := make([]T, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[r] = body(&memTransport{f: f, rank: r})
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,78 @@
+package coll
+
+// ReduceLinear reduces equal-size contributions to root by direct
+// fan-in: the root receives p-1 messages and combines them in rank
+// order. O(p) at the root.
+func ReduceLinear(t Transport, root int, mine []byte, f Combiner) []byte {
+	p := t.Size()
+	rank := t.Rank()
+	if rank != root {
+		t.Send(root, tagReduce, mine)
+		return nil
+	}
+	// Combine in rank order for non-commutative operations.
+	var acc []byte
+	first := true
+	for r := 0; r < p; r++ {
+		var contrib []byte
+		if r == root {
+			contrib = mine
+		} else {
+			contrib = t.Recv(r, tagReduce)
+		}
+		if first {
+			acc = contrib
+			first = false
+		} else {
+			acc = t.Combine(acc, contrib, f)
+		}
+	}
+	return acc
+}
+
+// ReduceBinomial reduces along a binomial tree in ⌈log2 p⌉ stages — the
+// binary/binomial tree the paper reports for EPCC MPI's reduce [6] and
+// the reason reduce startup grows logarithmically (Fig. 1f). Operands
+// combine in rank order, so non-commutative Combiners are safe. The
+// result lands on root; other ranks return nil.
+//
+// The rank-order guarantee relies on the binomial schedule: a rank only
+// ever absorbs partial results of strictly higher contiguous rank spans,
+// so Combine(lower-span, higher-span) preserves order. To keep that true
+// for any root, the tree always runs in true rank order toward rank 0,
+// and the result takes one extra hop to a non-zero root afterward —
+// exactly MPICH's treatment of (potentially) non-commutative operations.
+func ReduceBinomial(t Transport, root int, mine []byte, f Combiner) []byte {
+	p := t.Size()
+	rank := t.Rank()
+
+	acc := mine
+	mask := 1
+	for mask < p {
+		if rank&mask == 0 {
+			peer := rank | mask
+			if peer < p {
+				in := t.Recv(peer, tagReduce)
+				acc = t.Combine(acc, in, f) // my span precedes peer's
+			}
+		} else {
+			t.Send(rank-mask, tagReduce, acc)
+			acc = nil
+			break
+		}
+		mask <<= 1
+	}
+	if root == 0 {
+		return acc
+	}
+	// Relocate the result from rank 0 to the requested root.
+	switch rank {
+	case 0:
+		t.Send(root, tagReduce, acc)
+		return nil
+	case root:
+		return t.Recv(0, tagReduce)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,113 @@
+package coll
+
+import "sort"
+
+// Algorithm names, used by the per-machine algorithm tables and the
+// ablation benchmarks.
+const (
+	AlgLinear            = "linear"
+	AlgBinomial          = "binomial"
+	AlgCentral           = "central"
+	AlgTree              = "tree"
+	AlgDissemination     = "dissemination"
+	AlgHardware          = "hardware" // T3D barrier circuit; bound by the mpi layer
+	AlgPairwise          = "pairwise"
+	AlgXOR               = "xor"
+	AlgBruck             = "bruck"
+	AlgRecursiveDoubling = "recursive-doubling"
+	AlgRing              = "ring"
+	AlgGatherBcast       = "gather-bcast"
+	AlgReduceBcast       = "reduce-bcast"
+	AlgScatterAllgather  = "scatter-allgather"
+	AlgRabenseifner      = "rabenseifner"
+	AlgPipelined         = "pipelined"
+)
+
+// Registries map algorithm names to implementations so harnesses can
+// sweep alternatives. The hardware barrier is not listed here: it needs
+// machine support and is bound by the mpi layer.
+
+// BcastAlg is the signature of a broadcast algorithm.
+type BcastAlg func(t Transport, root int, data []byte) []byte
+
+// BarrierAlg is the signature of a barrier algorithm.
+type BarrierAlg func(t Transport)
+
+// GatherAlg is the signature of a gather algorithm.
+type GatherAlg func(t Transport, root int, mine []byte) [][]byte
+
+// ScatterAlg is the signature of a scatter algorithm.
+type ScatterAlg func(t Transport, root int, blocks [][]byte) []byte
+
+// AlltoallAlg is the signature of a total-exchange algorithm.
+type AlltoallAlg func(t Transport, blocks [][]byte) [][]byte
+
+// ReduceAlg is the signature of a reduce algorithm.
+type ReduceAlg func(t Transport, root int, mine []byte, f Combiner) []byte
+
+// ScanAlg is the signature of a scan algorithm.
+type ScanAlg func(t Transport, mine []byte, f Combiner) []byte
+
+// AllgatherAlg is the signature of an allgather algorithm.
+type AllgatherAlg func(t Transport, mine []byte) [][]byte
+
+// AllreduceAlg is the signature of an allreduce algorithm.
+type AllreduceAlg func(t Transport, mine []byte, f Combiner) []byte
+
+// The algorithm registries.
+var (
+	Bcasts = map[string]BcastAlg{
+		AlgLinear:           BcastLinear,
+		AlgBinomial:         BcastBinomial,
+		AlgScatterAllgather: BcastScatterAllgather,
+		AlgPipelined: func(t Transport, root int, data []byte) []byte {
+			return BcastPipelined(t, root, data, 4096)
+		},
+	}
+	Barriers = map[string]BarrierAlg{
+		AlgCentral:       BarrierCentral,
+		AlgTree:          BarrierTree,
+		AlgDissemination: BarrierDissemination,
+	}
+	Gathers = map[string]GatherAlg{
+		AlgLinear:   GatherLinear,
+		AlgBinomial: GatherBinomial,
+	}
+	Scatters = map[string]ScatterAlg{
+		AlgLinear:   ScatterLinear,
+		AlgBinomial: ScatterBinomial,
+	}
+	Alltoalls = map[string]AlltoallAlg{
+		AlgLinear:   AlltoallLinear,
+		AlgPairwise: AlltoallPairwise,
+		AlgXOR:      AlltoallXOR,
+		AlgBruck:    AlltoallBruck,
+	}
+	Reduces = map[string]ReduceAlg{
+		AlgLinear:   ReduceLinear,
+		AlgBinomial: ReduceBinomial,
+	}
+	Scans = map[string]ScanAlg{
+		AlgLinear:            ScanLinear,
+		AlgRecursiveDoubling: ScanRecursiveDoubling,
+	}
+	Allgathers = map[string]AllgatherAlg{
+		AlgRing:        AllgatherRing,
+		AlgGatherBcast: AllgatherGatherBcast,
+	}
+	Allreduces = map[string]AllreduceAlg{
+		AlgReduceBcast:       AllreduceReduceBcast,
+		AlgRecursiveDoubling: AllreduceRecursiveDoubling,
+		AlgRabenseifner:      AllreduceRabenseifner,
+	}
+)
+
+// Names returns the sorted keys of an algorithm registry.
+func Names[V any](reg map[string]V) []string {
+	out := make([]string, 0, len(reg))
+	for k := range reg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,41 @@
+package coll
+
+// ScanLinear computes an inclusive prefix reduction along the rank
+// chain: rank r waits for the prefix of ranks [0, r), combines its own
+// contribution, and forwards. O(p) critical path; the baseline.
+func ScanLinear(t Transport, mine []byte, f Combiner) []byte {
+	p := t.Size()
+	rank := t.Rank()
+	acc := mine
+	if rank > 0 {
+		prev := t.Recv(rank-1, tagScan)
+		acc = t.Combine(prev, acc, f)
+	}
+	if rank+1 < p {
+		t.Send(rank+1, tagScan, acc)
+	}
+	return acc
+}
+
+// ScanRecursiveDoubling computes an inclusive prefix reduction in
+// ⌈log2 p⌉ rounds (Hillis–Steele): in round d, rank r sends its running
+// partial to r+2^d and absorbs the partial from r−2^d. This gives the
+// logarithmic startup growth of Fig. 1e. Non-commutative safe: the
+// incoming partial always covers the span immediately left of mine.
+func ScanRecursiveDoubling(t Transport, mine []byte, f Combiner) []byte {
+	p := t.Size()
+	rank := t.Rank()
+	acc := mine
+	round := 0
+	for d := 1; d < p; d <<= 1 {
+		if rank+d < p {
+			t.Send(rank+d, tagScan+round<<8, acc)
+		}
+		if rank-d >= 0 {
+			left := t.Recv(rank-d, tagScan+round<<8)
+			acc = t.Combine(left, acc, f)
+		}
+		round++
+	}
+	return acc
+}

@@ -1,0 +1,82 @@
+package coll
+
+// ScatterLinear distributes one equal-size block to every rank from
+// root via p-1 direct sends. Startup grows linearly in p (Fig. 1c); the
+// root's injection port serializes the sends. Every rank returns its
+// block; root must pass p blocks in rank order, others nil.
+func ScatterLinear(t Transport, root int, blocks [][]byte) []byte {
+	p := t.Size()
+	rank := t.Rank()
+	if rank != root {
+		return t.Recv(root, tagScatter)
+	}
+	if len(blocks) != p {
+		panic("coll: scatter root needs exactly p blocks")
+	}
+	checkUniform(blocks)
+	for r := 0; r < p; r++ {
+		if r != root {
+			t.Send(r, tagScatter, blocks[r])
+		}
+	}
+	return blocks[root]
+}
+
+// ScatterBinomial distributes blocks down a binomial tree: the root
+// sends whole subtree bundles, each interior node peels off its own
+// block and forwards the rest. ⌈log2 p⌉ stages of shrinking messages.
+func ScatterBinomial(t Transport, root int, blocks [][]byte) []byte {
+	p := t.Size()
+	rank := t.Rank()
+	v := vrank(rank, root, p)
+
+	var sub [][]byte // blocks for vranks [v, v+extent), vrank order
+	if rank == root {
+		if len(blocks) != p {
+			panic("coll: scatter root needs exactly p blocks")
+		}
+		checkUniform(blocks)
+		sub = make([][]byte, p)
+		for i := range sub {
+			sub[i] = blocks[unvrank(i, root, p)]
+		}
+	} else {
+		// Receive my subtree bundle from my parent.
+		mask := 1
+		for mask < p {
+			if v&mask != 0 {
+				buf := t.Recv(unvrank(v-mask, root, p), tagScatter)
+				n := subtreeSize(v, p)
+				if n > 0 && len(buf) > 0 {
+					sub = split(buf, n)
+				} else {
+					sub = make([][]byte, n)
+					for i := range sub {
+						sub[i] = []byte{}
+					}
+				}
+				break
+			}
+			mask <<= 1
+		}
+	}
+
+	// Forward phase: hand each child the tail half of my span, largest
+	// subtree first, shrinking my span as I go.
+	entry := 1
+	if v == 0 {
+		for entry < p {
+			entry <<= 1
+		}
+	} else {
+		entry = v & -v
+	}
+	for mask := entry >> 1; mask > 0; mask >>= 1 {
+		child := v + mask
+		if child < p {
+			t.Send(unvrank(child, root, p), tagScatter, concat(sub[mask:]))
+			sub = sub[:mask]
+		}
+	}
+	return sub[0]
+}

@@ -1,0 +1,63 @@
+// Package coll implements the collective communication algorithms used
+// by the vendor MPI libraries the paper measured: binomial trees
+// (MPICH/EPCC broadcast, reduce, barrier), linear fan-in/fan-out
+// (gather, scatter), pairwise and Bruck total exchange, recursive
+// doubling (scan, allreduce, dissemination barrier), and ring allgather.
+//
+// Every algorithm is written against the small Transport interface, so
+// the same code runs over the machine simulator (timing studies) and
+// over an in-memory fabric (correctness tests). Algorithms are SPMD:
+// every rank of the group calls the same function with matching
+// arguments, exactly as MPI requires.
+package coll
+
+// Transport is the point-to-point layer an algorithm runs over.
+//
+// Send is asynchronous-eager (it may return before the data is
+// delivered); Recv blocks until a message with the given source and tag
+// arrives. Message order between a fixed (source, destination) pair is
+// preserved. Combine applies a reduction step and accounts for its
+// computational cost.
+type Transport interface {
+	// Rank returns this process's rank in [0, Size()).
+	Rank() int
+	// Size returns the number of processes in the group.
+	Size() int
+	// Send transmits data to rank dst with the given tag.
+	Send(dst, tag int, data []byte)
+	// Recv blocks until a message from rank src with the given tag
+	// arrives and returns its payload.
+	Recv(src, tag int) []byte
+	// Combine returns a ⊕ b, charging the arithmetic cost of the
+	// combine to this rank. The operands are in rank order: a originates
+	// from lower ranks than b, which makes non-commutative reductions
+	// well defined.
+	Combine(a, b []byte, f Combiner) []byte
+}
+
+// Combiner merges two reduction operands in rank order (a before b) and
+// returns the result. Implementations must not modify a or b.
+type Combiner func(a, b []byte) []byte
+
+// Tags used by the algorithms. Distinct phases use distinct tags so that
+// overlapping algorithm steps between the same pair of ranks can never
+// match the wrong message. FIFO per (src,dst,tag) makes back-to-back
+// collectives safe without epochs.
+const (
+	tagBcast    = 0x10
+	tagBarrier  = 0x11
+	tagGather   = 0x12
+	tagScatter  = 0x13
+	tagAlltoall = 0x14
+	tagReduce   = 0x15
+	tagScan     = 0x16
+	tagGatherv  = 0x17
+	tagRelease  = 0x18
+)
+
+// vrank returns the rank relative to root, so tree algorithms can treat
+// any root as virtual rank 0.
+func vrank(rank, root, p int) int { return (rank - root + p) % p }
+
+// unvrank is the inverse of vrank.
+func unvrank(v, root, p int) int { return (v + root) % p }

@@ -1,0 +1,281 @@
+// Package core is the experiment driver of the reproduction: it maps
+// every figure and table of the paper's evaluation (Figs. 1–5, Table 3)
+// to simulator sweeps, curve fits, and rendered reports, and carries the
+// spot-value checks of EXPERIMENTS.md. It is the facade the cmd tools,
+// the examples, and the benchmarks call.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/paper"
+	"repro/internal/report"
+)
+
+// Evaluator runs the paper's experiments over the three machine models.
+type Evaluator struct {
+	cfg      measure.Config
+	machines []*machine.Machine
+	sizes    map[string][]int // per machine; defaults to the paper sweep
+	lengths  []int
+}
+
+// Option configures an Evaluator.
+type Option func(*Evaluator)
+
+// WithMachines restricts the evaluation to the given machines.
+func WithMachines(ms ...*machine.Machine) Option {
+	return func(e *Evaluator) { e.machines = ms }
+}
+
+// WithMaxNodes caps the machine-size sweep (benchmarks use small caps).
+func WithMaxNodes(max int) Option {
+	return func(e *Evaluator) {
+		for name, sizes := range e.sizes {
+			var cut []int
+			for _, p := range sizes {
+				if p <= max {
+					cut = append(cut, p)
+				}
+			}
+			e.sizes[name] = cut
+		}
+	}
+}
+
+// WithLengths overrides the message-length sweep.
+func WithLengths(lengths ...int) Option {
+	return func(e *Evaluator) { e.lengths = lengths }
+}
+
+// New returns an evaluator running the paper's sweeps under cfg.
+func New(cfg measure.Config, opts ...Option) *Evaluator {
+	e := &Evaluator{
+		cfg:      cfg,
+		machines: machine.All(),
+		sizes:    map[string][]int{},
+		lengths:  paper.MessageLengths(),
+	}
+	for _, m := range machine.All() {
+		e.sizes[m.Name()] = paper.MachineSizes(m.Name())
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Machines returns the machines under evaluation.
+func (e *Evaluator) Machines() []*machine.Machine { return e.machines }
+
+func (e *Evaluator) sizesFor(m *machine.Machine) []int { return e.sizes[m.Name()] }
+
+func opMsg(op machine.Op, m int) int {
+	if op == machine.OpBarrier {
+		return 0
+	}
+	return m
+}
+
+// Fig1 reproduces Figure 1: startup latencies T0(p) of the six payload
+// collectives, one figure per operation with one series per machine.
+func (e *Evaluator) Fig1() []report.Figure {
+	figs := make([]report.Figure, 0, len(paper.SixOps))
+	for _, op := range paper.SixOps {
+		f := report.Figure{
+			Title:  fmt.Sprintf("Fig. 1 (%s): startup latency T0(p)", op),
+			XLabel: "p",
+			YLabel: "µs",
+		}
+		for _, m := range e.machines {
+			s := report.Series{Label: m.Name()}
+			for _, p := range e.sizesFor(m) {
+				s.X = append(s.X, p)
+				s.Y = append(s.Y, measure.StartupLatency(m, op, p, e.cfg))
+			}
+			f.Series = append(f.Series, s)
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}
+
+// Fig2 reproduces Figure 2: T(m, 32) of the six payload collectives as
+// a function of message length.
+func (e *Evaluator) Fig2() []report.Figure {
+	const p = 32
+	figs := make([]report.Figure, 0, len(paper.SixOps))
+	for _, op := range paper.SixOps {
+		f := report.Figure{
+			Title:  fmt.Sprintf("Fig. 2 (%s): messaging time T(m, 32)", op),
+			XLabel: "m (bytes)",
+			YLabel: "µs",
+		}
+		for _, m := range e.machines {
+			if p > m.MaxNodes() {
+				continue
+			}
+			s := report.Series{Label: m.Name()}
+			for _, msg := range e.lengths {
+				s.X = append(s.X, msg)
+				s.Y = append(s.Y, measure.MeasureOp(m, op, p, msg, e.cfg).Micros)
+			}
+			f.Series = append(f.Series, s)
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}
+
+// Fig3 reproduces Figure 3: T(m, p) against machine size for short
+// (16 B) and long (64 KB) messages, for all seven operations.
+func (e *Evaluator) Fig3() []report.Figure {
+	art := paper.ArtifactByID("fig3")
+	figs := make([]report.Figure, 0, len(art.Ops))
+	for _, op := range art.Ops {
+		f := report.Figure{
+			Title:  fmt.Sprintf("Fig. 3 (%s): messaging time vs machine size", op),
+			XLabel: "p",
+			YLabel: "µs",
+		}
+		for _, m := range e.machines {
+			lengths := art.FixedM
+			if op == machine.OpBarrier {
+				lengths = []int{0}
+			}
+			for _, msg := range lengths {
+				label := fmt.Sprintf("%s m=%d", m.Name(), msg)
+				if op == machine.OpBarrier {
+					label = m.Name()
+				}
+				s := report.Series{Label: label}
+				for _, p := range e.sizesFor(m) {
+					s.X = append(s.X, p)
+					s.Y = append(s.Y, measure.MeasureOp(m, op, p, msg, e.cfg).Micros)
+				}
+				f.Series = append(f.Series, s)
+			}
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}
+
+// Fig4Row is one bar of Figure 4: the startup/transmission breakdown of
+// an operation on one machine at p=32, m=1 KB.
+type Fig4Row struct {
+	Machine      string
+	Op           machine.Op
+	Startup      float64 // µs (T0 via the short-message estimate)
+	Transmission float64 // µs (T(1KB) − T0)
+	Total        float64 // µs
+}
+
+// Fig4 reproduces Figure 4's breakdown bars.
+func (e *Evaluator) Fig4() []Fig4Row {
+	const p, msg = 32, 1024
+	var rows []Fig4Row
+	for _, op := range paper.SixOps {
+		for _, m := range e.machines {
+			if p > m.MaxNodes() {
+				continue
+			}
+			t0 := measure.StartupLatency(m, op, p, e.cfg)
+			total := measure.MeasureOp(m, op, p, msg, e.cfg).Micros
+			d := total - t0
+			if d < 0 {
+				d = 0
+			}
+			rows = append(rows, Fig4Row{
+				Machine: m.Name(), Op: op, Startup: t0, Transmission: d, Total: total,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig5Row is one bar of Figure 5: the aggregated bandwidth R∞(p) of an
+// operation on one machine at one size.
+type Fig5Row struct {
+	Machine string
+	Op      machine.Op
+	P       int
+	MBs     float64
+}
+
+// Fig5 reproduces Figure 5: asymptotic aggregated bandwidths at
+// p ∈ {16, 32, 64}, estimated from the per-byte slope of an m-sweep.
+func (e *Evaluator) Fig5() []Fig5Row {
+	var rows []Fig5Row
+	for _, op := range paper.SixOps {
+		for _, m := range e.machines {
+			for _, p := range paper.Fig5Sizes {
+				if p > m.MaxNodes() {
+					continue
+				}
+				rows = append(rows, Fig5Row{
+					Machine: m.Name(), Op: op, P: p,
+					MBs: e.bandwidthAt(m, op, p),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// bandwidthAt estimates R∞(p) = f(m,p)/(s(p)·m) from measured slopes.
+func (e *Evaluator) bandwidthAt(m *machine.Machine, op machine.Op, p int) float64 {
+	d := measure.Sweep(m, op, []int{p}, e.lengths, e.cfg)
+	base, _ := d.At(p, e.lengths[0])
+	var xs, ys []float64
+	for _, msg := range e.lengths[1:] {
+		if v, ok := d.At(p, msg); ok {
+			xs = append(xs, float64(msg-e.lengths[0]))
+			ys = append(ys, v-base)
+		}
+	}
+	slope, _ := fit.ThroughOrigin(xs, ys) // µs per byte
+	if slope <= 0 {
+		return 0
+	}
+	return paper.AggregatedMultiplier(op, p) / slope
+}
+
+// Table3 refits the paper's timing expressions from simulator sweeps.
+// It returns the fitted expressions keyed like paper.Table3.
+func (e *Evaluator) Table3() map[string]map[machine.Op]fit.Expression {
+	out := map[string]map[machine.Op]fit.Expression{}
+	for _, m := range e.machines {
+		row := map[machine.Op]fit.Expression{}
+		for _, op := range machine.Ops {
+			lengths := e.lengths
+			if op == machine.OpBarrier {
+				lengths = []int{0}
+			}
+			d := measure.Sweep(m, op, e.sizesFor(m), lengths, e.cfg)
+			row[op] = fit.TwoStage(d, paper.StartupShape(op), paper.PerByteShape(m.Name(), op))
+		}
+		out[m.Name()] = row
+	}
+	return out
+}
+
+// Table3Rows renders a Table 3 reproduction as report rows.
+func (e *Evaluator) Table3Rows(fitted map[string]map[machine.Op]fit.Expression) []report.ExpressionRow {
+	var rows []report.ExpressionRow
+	for _, m := range e.machines {
+		for _, op := range machine.Ops {
+			pe, _ := paper.Expression(m.Name(), op)
+			rows = append(rows, report.ExpressionRow{
+				Machine: m.Name(),
+				Op:      string(op),
+				Paper:   pe.String(),
+				Fitted:  fitted[m.Name()][op].String(),
+			})
+		}
+	}
+	return rows
+}

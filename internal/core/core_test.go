@@ -1,0 +1,200 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/paper"
+)
+
+// fastEval keeps core tests quick: small sweeps, few iterations.
+func fastEval(opts ...Option) *Evaluator {
+	base := []Option{WithMaxNodes(16), WithLengths(4, 1024, 16384)}
+	return New(measure.Fast(), append(base, opts...)...)
+}
+
+func TestFig1ShapesAndCoverage(t *testing.T) {
+	figs := fastEval().Fig1()
+	if len(figs) != 6 {
+		t.Fatalf("Fig.1 has %d panels, want 6", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 3 {
+			t.Fatalf("%s: %d series, want 3 machines", f.Title, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.X) == 0 {
+				t.Fatalf("%s/%s: empty series", f.Title, s.Label)
+			}
+			// Startup latency must be monotonically non-decreasing in p
+			// (allowing jitter of a few percent).
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] < s.Y[i-1]*0.9 {
+					t.Errorf("%s/%s: latency fell from %v to %v", f.Title, s.Label, s.Y[i-1], s.Y[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig2TimeGrowsWithMessageLength(t *testing.T) {
+	figs := fastEval().Fig2()
+	if len(figs) != 6 {
+		t.Fatalf("Fig.2 has %d panels", len(figs))
+	}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			last := len(s.Y) - 1
+			if s.Y[last] <= s.Y[0] {
+				t.Errorf("%s/%s: no growth across m sweep", f.Title, s.Label)
+			}
+		}
+	}
+}
+
+func TestFig3HasShortAndLongSeries(t *testing.T) {
+	figs := fastEval().Fig3()
+	if len(figs) != 7 {
+		t.Fatalf("Fig.3 has %d panels, want 7 (incl. barrier)", len(figs))
+	}
+	var sawShortLong bool
+	for _, f := range figs {
+		if strings.Contains(f.Title, "barrier") {
+			if len(f.Series) != 3 {
+				t.Fatalf("barrier panel has %d series", len(f.Series))
+			}
+			continue
+		}
+		if len(f.Series) != 6 {
+			t.Fatalf("%s: %d series, want 6 (3 machines × short/long)", f.Title, len(f.Series))
+		}
+		sawShortLong = true
+	}
+	if !sawShortLong {
+		t.Fatal("no payload panels")
+	}
+}
+
+func TestFig4BreakdownConsistent(t *testing.T) {
+	rows := fastEval().Fig4()
+	if len(rows) != 18 {
+		t.Fatalf("Fig.4 has %d bars, want 18 (6 ops × 3 machines)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Startup <= 0 || r.Total <= 0 {
+			t.Errorf("%s/%s: nonpositive bar", r.Machine, r.Op)
+		}
+		if r.Total < r.Startup*0.8 {
+			t.Errorf("%s/%s: total %v below startup %v", r.Machine, r.Op, r.Total, r.Startup)
+		}
+	}
+}
+
+func TestFig5BandwidthsPositiveAndGrowing(t *testing.T) {
+	e := New(measure.Config{Warmup: 1, K: 2, Reps: 1, Seed: 1}, WithLengths(4, 4096, 65536))
+	rows := e.Fig5()
+	byKey := map[string]map[int]float64{}
+	for _, r := range rows {
+		if r.MBs <= 0 {
+			t.Errorf("%s/%s p=%d: bandwidth %v", r.Machine, r.Op, r.P, r.MBs)
+		}
+		k := r.Machine + "/" + string(r.Op)
+		if byKey[k] == nil {
+			byKey[k] = map[int]float64{}
+		}
+		byKey[k][r.P] = r.MBs
+	}
+	// §8: aggregated bandwidth increases monotonically with p for the
+	// total exchange (f grows as p²).
+	for _, mach := range []string{"SP2", "T3D", "Paragon"} {
+		bw := byKey[mach+"/alltoall"]
+		if bw[32] <= bw[16] {
+			t.Errorf("%s alltoall R∞ did not grow: %v", mach, bw)
+		}
+	}
+}
+
+func TestTable3ShapesMatchPaper(t *testing.T) {
+	// The headline structural claim (§8): startup is linear in p for
+	// gather/scatter/alltoall and logarithmic for the tree collectives,
+	// on every machine. Our refits must select the same shapes.
+	e := New(measure.Config{Warmup: 1, K: 2, Reps: 1, Seed: 1}, WithMaxNodes(64), WithLengths(4, 16384, 65536))
+	fitted := e.Table3()
+	for mach, row := range fitted {
+		for op, expr := range row {
+			want := paper.StartupShape(op)
+			if mach == "T3D" && op == machine.OpBarrier {
+				continue // hardware barrier: nearly flat, shape is degenerate
+			}
+			if expr.Startup.Kind != want {
+				t.Errorf("%s/%s startup fitted %v, paper says %v (expr %s)",
+					mach, op, expr.Startup.Kind, want, expr)
+			}
+		}
+	}
+}
+
+func TestTable3RowsComplete(t *testing.T) {
+	e := fastEval()
+	fitted := e.Table3()
+	rows := e.Table3Rows(fitted)
+	if len(rows) != 21 {
+		t.Fatalf("Table 3 has %d rows, want 21", len(rows))
+	}
+	for _, r := range rows {
+		if r.Paper == "" || r.Fitted == "" {
+			t.Errorf("%s/%s: empty expression", r.Machine, r.Op)
+		}
+	}
+}
+
+func TestSpotChecksCovered(t *testing.T) {
+	e := fastEval()
+	// Spot checks run at up to 64 nodes; with the 16-node cap most are
+	// filtered by P — use a dedicated evaluator for coverage counting
+	// without actually running the heavy ones here.
+	_ = e
+	if len(paper.Reported) < 10 {
+		t.Fatalf("only %d reported spot values transcribed", len(paper.Reported))
+	}
+}
+
+func TestWithMachinesRestricts(t *testing.T) {
+	e := fastEval(WithMachines(machine.T3D()))
+	figs := e.Fig1()
+	for _, f := range figs {
+		if len(f.Series) != 1 || f.Series[0].Label != "T3D" {
+			t.Fatalf("restriction failed: %+v", f.Series)
+		}
+	}
+}
+
+func TestBandwidthAtReasonableForT3DAlltoall(t *testing.T) {
+	// At p=16 the T3D total exchange should deliver hundreds of MB/s
+	// (the paper's Fig. 5b scale), nowhere near the 4.8 GB/s raw figure.
+	e := New(measure.Fast(), WithLengths(4, 16384, 65536))
+	bw := e.bandwidthAt(machine.T3D(), machine.OpAlltoall, 16)
+	if bw < 100 || bw > 2000 {
+		t.Fatalf("T3D alltoall R∞(16) = %.0f MB/s, want O(100s)", bw)
+	}
+}
+
+func TestFittedExpressionsEvaluable(t *testing.T) {
+	e := fastEval()
+	fitted := e.Table3()
+	for mach, row := range fitted {
+		for op, expr := range row {
+			v := expr.Eval(1024, 8)
+			if v <= 0 || !isFinite(v) {
+				t.Errorf("%s/%s: Eval(1024,8) = %v from %s", mach, op, v, expr)
+			}
+		}
+	}
+}
+
+func isFinite(v float64) bool { return v == v && v < 1e18 && v > -1e18 }
+
+var _ = fit.Expression{} // keep the fit import for the helpers above

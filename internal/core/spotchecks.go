@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/paper"
+	"repro/internal/report"
+)
+
+// SpotChecks measures every number the paper quotes in prose (E7 of
+// DESIGN.md) and returns paper-vs-measured comparisons.
+func (e *Evaluator) SpotChecks() []report.Comparison {
+	var out []report.Comparison
+	for _, sv := range paper.Reported {
+		m := machine.ByName(sv.Machine)
+		if m == nil || sv.P > m.MaxNodes() {
+			continue
+		}
+		var measured float64
+		switch {
+		case sv.Unit == "MB/s":
+			measured = e.bandwidthAt(m, sv.Op, sv.P)
+		case sv.M == 0 && sv.Op != machine.OpBarrier:
+			measured = measure.StartupLatency(m, sv.Op, sv.P, e.cfg)
+		default:
+			msg := sv.M
+			if sv.Op == machine.OpBarrier {
+				msg = 0
+			}
+			measured = measure.MeasureOp(m, sv.Op, sv.P, msg, e.cfg).Micros
+		}
+		out = append(out, report.Comparison{
+			Label:    fmt.Sprintf("%s %s %s p=%d", sv.Where, sv.Machine, sv.Op, sv.P),
+			Paper:    sv.Value,
+			Measured: measured,
+			Unit:     sv.Unit,
+		})
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Package fit derives the paper's Table 3 closed-form timing
+// expressions from measured data. The model (paper §3) is
+//
+//	T(m, p) = T0(p) + D(m, p),   D(m, p) = s(p)·m
+//
+// where the startup latency T0(p) and the per-byte rate s(p) each take
+// one of two shapes: a·p + b (linear collectives: gather, scatter, total
+// exchange) or a·log2(p) + b (tree collectives: barrier, broadcast,
+// reduce, scan). Following the paper's procedure, T0(p) is estimated
+// from the shortest-message timing, D is the remainder, and the shape is
+// chosen by least-squares residual.
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// FormKind is the p-dependence shape of one expression term.
+type FormKind int
+
+// The two shapes of Table 3.
+const (
+	Linear FormKind = iota // a·p + b
+	Log                    // a·log2(p) + b
+)
+
+// String returns "p" or "logp".
+func (k FormKind) String() string {
+	if k == Log {
+		return "logp"
+	}
+	return "p"
+}
+
+// Form is one fitted term: A·x(p) + B where x is p or log2(p).
+type Form struct {
+	Kind FormKind
+	A, B float64
+}
+
+// Eval evaluates the form at machine size p.
+func (f Form) Eval(p int) float64 {
+	x := float64(p)
+	if f.Kind == Log {
+		x = math.Log2(float64(p))
+	}
+	return f.A*x + f.B
+}
+
+// String renders the term the way Table 3 does, e.g. "24p + 90" or
+// "55logp + 30".
+func (f Form) String() string {
+	sign := "+"
+	b := f.B
+	if b < 0 {
+		sign = "-"
+		b = -b
+	}
+	return fmt.Sprintf("%s%s %s %s", trim(f.A), f.Kind, sign, trim(b))
+}
+
+func trim(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+// Expression is a full Table 3 entry: T(m,p) = Startup(p) + PerByte(p)·m
+// with T in µs, m in bytes.
+type Expression struct {
+	Startup Form // µs
+	PerByte Form // µs per byte
+}
+
+// Eval returns the predicted time in µs for message length m bytes on p
+// nodes.
+func (e Expression) Eval(m, p int) float64 {
+	return e.Startup.Eval(p) + e.PerByte.Eval(p)*float64(m)
+}
+
+// EvalStartup returns T0(p) in µs.
+func (e Expression) EvalStartup(p int) float64 { return e.Startup.Eval(p) }
+
+// EvalPerByte returns s(p) in µs/byte.
+func (e Expression) EvalPerByte(p int) float64 { return e.PerByte.Eval(p) }
+
+// String renders the expression in the paper's notation, e.g.
+// "(24p + 90) + (0.082p - 0.29)m".
+func (e Expression) String() string {
+	return fmt.Sprintf("(%s) + (%s)m", e.Startup, e.PerByte)
+}
+
+// StartupOnly reports whether the expression has no per-byte part
+// (barrier rows of Table 3).
+func (e Expression) StartupOnly() bool { return e.PerByte.A == 0 && e.PerByte.B == 0 }

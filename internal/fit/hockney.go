@@ -1,0 +1,51 @@
+package fit
+
+// Hockney is the classic point-to-point communication model the paper
+// cites ([13]): t(m) = t0 + m/r∞, characterized by the startup time t0,
+// the asymptotic bandwidth r∞, and the half-performance message length
+// n½ = t0·r∞ at which achieved bandwidth reaches half of r∞. The paper's
+// §9 argues this model suits point-to-point but not collectives — the
+// aggregated bandwidth R∞(p) generalizes it; we implement both so the
+// comparison is reproducible.
+type Hockney struct {
+	T0Micros float64 // startup time in µs
+	RInfMBs  float64 // asymptotic bandwidth in MB/s
+}
+
+// FitHockney fits t(m) = t0 + m/r∞ to point-to-point timings: lengths in
+// bytes, times in µs.
+func FitHockney(lengths []int, micros []float64) Hockney {
+	if len(lengths) != len(micros) || len(lengths) < 2 {
+		panic("fit: hockney needs ≥ 2 (m, t) points")
+	}
+	xs := make([]float64, len(lengths))
+	for i, m := range lengths {
+		xs[i] = float64(m)
+	}
+	slope, t0, _ := LeastSquares(xs, micros)
+	h := Hockney{T0Micros: t0}
+	if slope > 0 {
+		h.RInfMBs = 1 / slope // µs/byte → MB/s
+	}
+	return h
+}
+
+// Eval returns the predicted one-way time in µs for m bytes.
+func (h Hockney) Eval(m int) float64 {
+	if h.RInfMBs <= 0 {
+		return h.T0Micros
+	}
+	return h.T0Micros + float64(m)/h.RInfMBs
+}
+
+// NHalf returns the half-performance message length n½ in bytes.
+func (h Hockney) NHalf() float64 { return h.T0Micros * h.RInfMBs }
+
+// Bandwidth returns the achieved bandwidth in MB/s for m bytes.
+func (h Hockney) Bandwidth(m int) float64 {
+	t := h.Eval(m)
+	if t <= 0 {
+		return 0
+	}
+	return float64(m) / t
+}

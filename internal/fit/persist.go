@@ -1,0 +1,59 @@
+package fit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the dataset as "p,m,micros" rows with a header,
+// the cache format of cmd/experiments.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "p,m,micros"); err != nil {
+		return err
+	}
+	for _, pt := range d.Points {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", pt.P, pt.M, pt.Micros); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses WriteCSV output.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	d := &Dataset{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "p,")) {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("fit: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		p, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("fit: line %d: bad p: %v", line, err)
+		}
+		m, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("fit: line %d: bad m: %v", line, err)
+		}
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fit: line %d: bad micros: %v", line, err)
+		}
+		d.Add(p, m, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package fit
+
+import "math"
+
+// LeastSquares fits y = a·x + b by ordinary least squares and returns
+// the coefficients and the sum of squared residuals. With fewer than two
+// distinct x values the slope is zero and b is the mean.
+func LeastSquares(xs, ys []float64) (a, b, sse float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("fit: mismatched or empty series")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		b = sy / n
+	} else {
+		a = (n*sxy - sx*sy) / den
+		b = (sy - a*sx) / n
+	}
+	for i := range xs {
+		r := ys[i] - (a*xs[i] + b)
+		sse += r * r
+	}
+	return a, b, sse
+}
+
+// ThroughOrigin fits y = a·x with zero intercept.
+func ThroughOrigin(xs, ys []float64) (a, sse float64) {
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx != 0 {
+		a = sxy / sxx
+	}
+	for i := range xs {
+		r := ys[i] - a*xs[i]
+		sse += r * r
+	}
+	return a, sse
+}
+
+// FitForm fits ys over machine sizes ps with both p-dependence shapes
+// and returns the one with the smaller relative residual. Ties (and the
+// degenerate single-point case) prefer the hinted kind.
+func FitForm(ps []int, ys []float64, hint FormKind) Form {
+	lin := make([]float64, len(ps))
+	lg := make([]float64, len(ps))
+	for i, p := range ps {
+		lin[i] = float64(p)
+		lg[i] = math.Log2(float64(p))
+	}
+	la, lb, lsse := LeastSquares(lin, ys)
+	ga, gb, gsse := LeastSquares(lg, ys)
+	linForm := Form{Kind: Linear, A: la, B: lb}
+	logForm := Form{Kind: Log, A: ga, B: gb}
+	switch {
+	case lsse < gsse:
+		return linForm
+	case gsse < lsse:
+		return logForm
+	case hint == Log:
+		return logForm
+	default:
+		return linForm
+	}
+}
+
+// RSquared returns the coefficient of determination of form f over the
+// observations (ps, ys).
+func RSquared(f Form, ps []int, ys []float64) float64 {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var sse, sst float64
+	for i, p := range ps {
+		r := ys[i] - f.Eval(p)
+		sse += r * r
+		d := ys[i] - mean
+		sst += d * d
+	}
+	if sst == 0 {
+		return 1
+	}
+	return 1 - sse/sst
+}

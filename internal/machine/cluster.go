@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Cluster is an allocation of p nodes of a machine: a simulation kernel,
+// the interconnect fabric, per-node clock skews, and (on the T3D) the
+// hardwired barrier network. One MPI process runs per node, as in the
+// paper's experiments.
+type Cluster struct {
+	mach *Machine
+	k    *sim.Kernel
+	net  *network.Network
+	p    int
+	skew []sim.Duration
+
+	hw *hwBarrier
+}
+
+// NewCluster allocates p nodes of machine m. seed drives the
+// deterministic skew/jitter randomness; the same seed reproduces the
+// same run exactly.
+func NewCluster(m *Machine, p int, seed int64) *Cluster {
+	if p < 1 {
+		panic("machine: cluster needs ≥ 1 node")
+	}
+	if p > m.MaxNodes() {
+		panic(fmt.Sprintf("machine: %s allocation of %d exceeds the study's maximum of %d nodes",
+			m.Name(), p, m.MaxNodes()))
+	}
+	k := sim.New(seed)
+	topo := m.NewTopology(p)
+	net := network.New(k, topo, m.Params().Net)
+	c := &Cluster{mach: m, k: k, net: net, p: p, skew: make([]sim.Duration, p)}
+	maxSkew := m.Params().ClockSkewMax
+	if maxSkew > 0 {
+		for i := range c.skew {
+			c.skew[i] = sim.Duration(k.Rand().Int63n(int64(maxSkew)))
+		}
+	}
+	if m.HardwareBarrier() {
+		c.hw = &hwBarrier{c: c, n: p}
+		c.hw.sig = sim.NewSignal(k, "hw-barrier")
+	}
+	return c
+}
+
+// Machine returns the machine model.
+func (c *Cluster) Machine() *Machine { return c.mach }
+
+// Kernel returns the simulation kernel.
+func (c *Cluster) Kernel() *sim.Kernel { return c.k }
+
+// Net returns the fabric.
+func (c *Cluster) Net() *network.Network { return c.net }
+
+// Size returns the number of allocated nodes.
+func (c *Cluster) Size() int { return c.p }
+
+// LocalClock returns node rank's own wall clock at the current simulated
+// instant. Nodes are not time-synchronized (paper §2): each has a fixed
+// private offset, which is why the measurement procedure must max-reduce
+// per-rank averages rather than subtract timestamps across nodes.
+func (c *Cluster) LocalClock(rank int) sim.Time {
+	return c.k.Now().Add(c.skew[rank])
+}
+
+// Jitter returns a software overhead d inflated by this run's OS noise
+// model: a uniform random fraction in [0, JitterFrac).
+func (c *Cluster) Jitter(d sim.Duration) sim.Duration {
+	f := c.mach.Params().JitterFrac
+	if f <= 0 || d <= 0 {
+		return d
+	}
+	return d + sim.Duration(c.k.Rand().Float64()*f*float64(d))
+}
+
+// HardwareBarrierEnter blocks proc until all p nodes have entered the
+// hardwired barrier, then releases everyone after the AND-tree
+// propagation cost. Panics if the machine has no barrier hardware.
+func (c *Cluster) HardwareBarrierEnter(proc *sim.Proc) {
+	if c.hw == nil {
+		panic("machine: " + c.mach.Name() + " has no hardware barrier")
+	}
+	c.hw.enter(proc)
+}
+
+// hwBarrier models the T3D's dedicated AND-tree barrier network: a
+// single-wire reduction whose completion time is independent of the data
+// network and nearly independent of machine size.
+type hwBarrier struct {
+	c   *Cluster
+	n   int
+	cnt int
+	sig *sim.Signal
+}
+
+func (b *hwBarrier) enter(proc *sim.Proc) {
+	b.cnt++
+	sig := b.sig
+	if b.cnt == b.n {
+		// Last arrival: the AND-tree fires after the propagation cost.
+		b.cnt = 0
+		b.sig = sim.NewSignal(b.c.k, "hw-barrier")
+		cost := b.c.mach.BarrierHardwareCost(b.n)
+		done := sig
+		b.c.k.After(cost, func() { done.Resolve(struct{}{}) })
+	}
+	sig.Await(proc)
+}

@@ -1,0 +1,243 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestPresetsBasics(t *testing.T) {
+	for _, m := range All() {
+		if m.Name() == "" {
+			t.Fatal("unnamed machine")
+		}
+		if m.MaxNodes() < 64 {
+			t.Fatalf("%s: max nodes %d", m.Name(), m.MaxNodes())
+		}
+		if m.SendCost(OpP2P) <= 0 || m.RecvCost(OpP2P) <= 0 {
+			t.Fatalf("%s: nonpositive default overheads", m.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SP2", "T3D", "Paragon"} {
+		if m := ByName(name); m == nil || m.Name() != name {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if ByName("CM-5") != nil {
+		t.Fatal("unexpected machine")
+	}
+}
+
+func TestHopLatenciesMatchPaper(t *testing.T) {
+	// Paper §4: 125 ns SP2, 20 ns T3D, 40 ns Paragon.
+	want := map[string]sim.Duration{"SP2": 125, "T3D": 20, "Paragon": 40}
+	for _, m := range All() {
+		if got := m.Params().Net.HopLatency; got != want[m.Name()] {
+			t.Errorf("%s hop latency = %v, want %v", m.Name(), got, want[m.Name()])
+		}
+	}
+}
+
+func TestLinkBandwidthsMatchPaper(t *testing.T) {
+	// Paper §5: 40, 300, 175 MB/s.
+	want := map[string]float64{"SP2": 40, "T3D": 300, "Paragon": 175}
+	for _, m := range All() {
+		if got := m.Params().Net.LinkBandwidthMBs; got != want[m.Name()] {
+			t.Errorf("%s link bandwidth = %v, want %v", m.Name(), got, want[m.Name()])
+		}
+	}
+}
+
+func TestTopologyFamilies(t *testing.T) {
+	if _, ok := SP2().NewTopology(64).(*topology.Omega); !ok {
+		t.Error("SP2 should build an omega network")
+	}
+	if _, ok := T3D().NewTopology(64).(*topology.Torus3D); !ok {
+		t.Error("T3D should build a torus")
+	}
+	if _, ok := Paragon().NewTopology(64).(*topology.Mesh2D); !ok {
+		t.Error("Paragon should build a mesh")
+	}
+}
+
+func TestOnlyT3DHasHardwareBarrier(t *testing.T) {
+	for _, m := range All() {
+		if got, want := m.HardwareBarrier(), m.Name() == "T3D"; got != want {
+			t.Errorf("%s hardware barrier = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestT3DBarrierCostNearThreeMicroseconds(t *testing.T) {
+	m := T3D()
+	for _, p := range []int{2, 16, 64} {
+		c := m.BarrierHardwareCost(p)
+		if c < us(3) || c > us(3.2) {
+			t.Errorf("T3D hardware barrier for p=%d costs %v, want ≈3µs", p, c)
+		}
+	}
+}
+
+func TestTuningFallbacks(t *testing.T) {
+	m := SP2()
+	// Allgather has no tuning entry: falls back to defaults.
+	if m.SendCost(OpAllgather) != m.SendCost(OpP2P) {
+		t.Error("allgather send cost should fall back to default")
+	}
+	// Gather overrides the recv cost.
+	if m.RecvCost(OpGather) == m.RecvCost(OpP2P) {
+		t.Error("gather recv override not applied")
+	}
+	// Unknown op: full defaults.
+	if m.InjMBs(Op("mystery"), 100) != m.Params().Net.InjectionMBs {
+		t.Error("unknown op should use default injection rate")
+	}
+}
+
+func TestBLTThresholdSwitchesBandwidth(t *testing.T) {
+	m := T3D()
+	small := m.InjMBs(OpGather, 1024)
+	big := m.InjMBs(OpGather, 65536)
+	if big <= small {
+		t.Fatalf("BLT should raise bulk bandwidth: small=%v big=%v", small, big)
+	}
+	if big != 213 {
+		t.Fatalf("BLT gather rate = %v, want 213", big)
+	}
+}
+
+func TestCombineCostScalesWithSize(t *testing.T) {
+	m := Paragon()
+	if m.CombineCost(OpReduce, 0) != 0 {
+		t.Error("zero-byte combine should be free")
+	}
+	c1 := m.CombineCost(OpReduce, 1000)
+	c2 := m.CombineCost(OpReduce, 2000)
+	if c2 != 2*c1 || c1 <= 0 {
+		t.Errorf("combine cost not linear: %v, %v", c1, c2)
+	}
+}
+
+func TestClusterAllocationLimits(t *testing.T) {
+	if NewCluster(T3D(), 64, 1) == nil {
+		t.Fatal("64-node T3D should allocate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: the study had at most 64 T3D nodes")
+		}
+	}()
+	NewCluster(T3D(), 128, 1)
+}
+
+func TestClusterClockSkewIsStablePerRank(t *testing.T) {
+	c := NewCluster(SP2(), 8, 7)
+	a := make([]sim.Time, 8)
+	for r := 0; r < 8; r++ {
+		a[r] = c.LocalClock(r)
+	}
+	distinct := map[sim.Time]bool{}
+	for r := 0; r < 8; r++ {
+		if c.LocalClock(r) != a[r] {
+			t.Fatal("skew changed between reads at same instant")
+		}
+		distinct[a[r]] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("expected some clock skew across ranks")
+	}
+}
+
+func TestClusterDeterministicAcrossRuns(t *testing.T) {
+	mk := func() []sim.Time {
+		c := NewCluster(Paragon(), 16, 42)
+		out := make([]sim.Time, 16)
+		for r := range out {
+			out[r] = c.LocalClock(r)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different skews")
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	c := NewCluster(SP2(), 2, 3)
+	base := us(100)
+	for i := 0; i < 1000; i++ {
+		j := c.Jitter(base)
+		if j < base || j > base+base/10 {
+			t.Fatalf("jitter out of bounds: %v from %v", j, base)
+		}
+	}
+}
+
+func TestHardwareBarrierReleasesAllAtOnce(t *testing.T) {
+	c := NewCluster(T3D(), 8, 1)
+	k := c.Kernel()
+	var release []sim.Time
+	for r := 0; r < 8; r++ {
+		r := r
+		k.Go("", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(r) * 10 * sim.Microsecond) // staggered arrival
+			c.HardwareBarrierEnter(p)
+			release = append(release, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(70 * sim.Microsecond).Add(T3D().BarrierHardwareCost(8))
+	for _, tm := range release {
+		if tm != want {
+			t.Fatalf("release times %v, want all %v", release, want)
+		}
+	}
+}
+
+func TestHardwareBarrierReusable(t *testing.T) {
+	c := NewCluster(T3D(), 4, 1)
+	k := c.Kernel()
+	count := 0
+	for r := 0; r < 4; r++ {
+		k.Go("", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				c.HardwareBarrierEnter(p)
+				count++
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 12 {
+		t.Fatalf("count = %d, want 12", count)
+	}
+}
+
+func TestNonT3DHardwareBarrierPanics(t *testing.T) {
+	c := NewCluster(SP2(), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.HardwareBarrierEnter(nil)
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6, 128: 7}
+	for p, want := range cases {
+		if got := Log2Ceil(p); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package measure implements the paper's benchmark methodology (§2) over
+// the simulator:
+//
+//	barrier synchronization
+//	get start-time
+//	for (i = 0; i < k; i++)
+//	        the-collective-routine-being-measured
+//	get end-time
+//	local-time = (end-time − start-time)/k
+//	communication-time = maximum-reduce(local-time)
+//
+// with the first (warm-up) iterations discarded, per-rank times read
+// from each node's own unsynchronized clock, and the whole program
+// executed several times per configuration. The paper focuses on the
+// maximal time "because … it reflects the condition that all processes
+// involved in the machine have finished the operation"; Sample.Micros
+// carries that headline number.
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/paper"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config controls the measurement procedure.
+type Config struct {
+	Warmup int   // discarded leading iterations (paper: 2)
+	K      int   // timed iterations per execution (paper: 20)
+	Reps   int   // independent program executions (paper: 5)
+	Seed   int64 // base RNG seed; rep r uses Seed+r
+}
+
+// Paper returns the paper-faithful configuration.
+func Paper() Config { return Config{Warmup: 2, K: 20, Reps: 5, Seed: 1} }
+
+// Fast returns a cheaper configuration for tests and wide sweeps; the
+// simulator's noise model is mild, so fewer iterations lose little.
+func Fast() Config { return Config{Warmup: 1, K: 3, Reps: 2, Seed: 1} }
+
+// Sample is the measured time of one (machine, op, p, m) configuration.
+type Sample struct {
+	Machine string
+	Op      machine.Op
+	P       int
+	M       int
+	// Micros is the headline time in µs: the mean over executions of
+	// the per-execution max-reduced per-rank averages.
+	Micros float64
+	// MinMicros/MaxMicros are the extreme per-execution values.
+	MinMicros, MaxMicros float64
+	// RankMin/RankMean are the paper's other two collected numbers
+	// (§2: "the minimal time, the maximal time, and the mean time from
+	// all processes are collected"), averaged over executions.
+	RankMin, RankMean float64
+}
+
+// MeasureOp measures one collective on p nodes of m with msgLen bytes
+// per pair, following the paper's procedure.
+func MeasureOp(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config) Sample {
+	if cfg.K < 1 || cfg.Reps < 1 {
+		panic("measure: need K ≥ 1 and Reps ≥ 1")
+	}
+	reps := make([]float64, 0, cfg.Reps)
+	var minSum, meanSum float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		r := runOnce(mach, op, p, msgLen, cfg, int64(rep))
+		reps = append(reps, r.Max)
+		minSum += r.Min
+		meanSum += r.Mean
+	}
+	agg := stats.Summarize(reps)
+	return Sample{
+		Machine: mach.Name(), Op: op, P: p, M: msgLen,
+		Micros: agg.Mean, MinMicros: agg.Min, MaxMicros: agg.Max,
+		RankMin: minSum / float64(cfg.Reps), RankMean: meanSum / float64(cfg.Reps),
+	}
+}
+
+// runOnce executes one benchmark program and returns the per-rank
+// summary (the paper's min/max/mean over all processes) in µs.
+func runOnce(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, rep int64) stats.Summary {
+	cl := machine.NewCluster(mach, p, cfg.Seed+rep)
+	locals := make([]sim.Duration, p)
+	err := mpi.RunCluster(cl, func(c *mpi.Comm) {
+		body := opBody(c, op, msgLen)
+		for w := 0; w < cfg.Warmup; w++ {
+			body()
+		}
+		c.Barrier()
+		start := c.Wtime()
+		for i := 0; i < cfg.K; i++ {
+			body()
+		}
+		end := c.Wtime()
+		locals[c.Rank()] = end.Sub(start) / sim.Duration(cfg.K)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("measure: %s %s p=%d m=%d: %v", mach.Name(), op, p, msgLen, err))
+	}
+	// communication-time = maximum-reduce(local-time). Collected
+	// host-side so the measurement itself does not perturb timing; the
+	// paper's in-band MPI_Reduce(MPI_MAX) is timing-equivalent because
+	// it happens after end-time is read.
+	micros := make([]float64, len(locals))
+	for i, v := range locals {
+		micros[i] = v.Micros()
+	}
+	return stats.Summarize(micros)
+}
+
+// opBody returns a closure executing one instance of the collective with
+// the per-pair message length the paper's m denotes.
+func opBody(c *mpi.Comm, op machine.Op, msgLen int) func() {
+	p := c.Size()
+	mkBlocks := func() [][]byte {
+		blocks := make([][]byte, p)
+		for i := range blocks {
+			blocks[i] = make([]byte, msgLen)
+		}
+		return blocks
+	}
+	switch op {
+	case machine.OpBarrier:
+		return func() { c.Barrier() }
+	case machine.OpBroadcast:
+		var msg []byte
+		if c.Rank() == 0 {
+			msg = make([]byte, msgLen)
+		}
+		return func() { c.Bcast(0, msg) }
+	case machine.OpGather:
+		mine := make([]byte, msgLen)
+		return func() { c.Gather(0, mine) }
+	case machine.OpScatter:
+		var blocks [][]byte
+		if c.Rank() == 0 {
+			blocks = mkBlocks()
+		}
+		return func() { c.Scatter(0, blocks) }
+	case machine.OpAlltoall:
+		blocks := mkBlocks()
+		return func() { c.Alltoall(blocks) }
+	case machine.OpReduce:
+		mine := make([]byte, msgLen)
+		return func() { c.Reduce(0, mine, mpi.Sum, mpi.Float) }
+	case machine.OpScan:
+		mine := make([]byte, msgLen)
+		return func() { c.Scan(mine, mpi.Sum, mpi.Float) }
+	case machine.OpAllgather:
+		mine := make([]byte, msgLen)
+		return func() { c.Allgather(mine) }
+	case machine.OpAllreduce:
+		mine := make([]byte, msgLen)
+		return func() { c.Allreduce(mine, mpi.Sum, mpi.Float) }
+	}
+	panic("measure: unknown operation " + string(op))
+}
+
+// Sweep measures op across machine sizes and message lengths and
+// returns the dataset for curve fitting.
+func Sweep(mach *machine.Machine, op machine.Op, sizes, lengths []int, cfg Config) *fit.Dataset {
+	d := &fit.Dataset{}
+	for _, p := range sizes {
+		for _, m := range lengths {
+			s := MeasureOp(mach, op, p, m, cfg)
+			d.Add(p, m, s.Micros)
+		}
+	}
+	return d
+}
+
+// StartupLatency estimates T0(p) the paper's way: the timing of the
+// shortest message (m = 4 B; the barrier uses none).
+func StartupLatency(mach *machine.Machine, op machine.Op, p int, cfg Config) float64 {
+	m := 4
+	if op == machine.OpBarrier {
+		m = 0
+	}
+	return MeasureOp(mach, op, p, m, cfg).Micros
+}
+
+// PaperSizes returns the study's machine-size sweep for mach, capped at
+// its allocation (§2: 2, 4, …, 128; 64 on the T3D).
+func PaperSizes(mach *machine.Machine) []int {
+	return paper.MachineSizes(mach.Name())
+}
+
+// PaperLengths returns the study's message-length sweep (§2).
+func PaperLengths() []int { return paper.MessageLengths() }

@@ -1,0 +1,62 @@
+package measure
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+)
+
+// SweepParallel is Sweep with the grid points executed on a worker pool.
+// Every (p, m) point is an independent simulation with its own seeded
+// cluster, so the results are bit-identical to the serial Sweep — only
+// wall-clock time changes. workers ≤ 0 uses GOMAXPROCS.
+func SweepParallel(mach *machine.Machine, op machine.Op, sizes, lengths []int, cfg Config, workers int) *fit.Dataset {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type point struct{ p, m int }
+	type result struct {
+		point
+		micros float64
+	}
+	points := make([]point, 0, len(sizes)*len(lengths))
+	for _, p := range sizes {
+		for _, m := range lengths {
+			points = append(points, point{p, m})
+		}
+	}
+
+	in := make(chan point)
+	out := make(chan result, len(points))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range in {
+				s := MeasureOp(mach, op, pt.p, pt.m, cfg)
+				out <- result{pt, s.Micros}
+			}
+		}()
+	}
+	for _, pt := range points {
+		in <- pt
+	}
+	close(in)
+	wg.Wait()
+	close(out)
+
+	byPoint := make(map[point]float64, len(points))
+	for r := range out {
+		byPoint[r.point] = r.micros
+	}
+	// Assemble in deterministic grid order regardless of completion
+	// order.
+	d := &fit.Dataset{}
+	for _, pt := range points {
+		d.Add(pt.p, pt.m, byPoint[pt])
+	}
+	return d
+}

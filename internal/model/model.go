@@ -1,0 +1,150 @@
+// Package model provides the analytic performance predictor the paper's
+// closing sections advertise: given the fitted timing expressions
+// (Table 3, or fits regenerated from the simulator), it answers the
+// questions application developers ask — how long will a collective
+// take, which machine wins for a given (m, p), where is the message-size
+// crossover between two machines, and how should work be partitioned to
+// trade divided computation against collective communication.
+package model
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/paper"
+)
+
+// Predictor evaluates collective performance from a set of fitted
+// expressions, keyed by machine name then operation.
+type Predictor struct {
+	exprs map[string]map[machine.Op]fit.Expression
+}
+
+// FromPaper returns a predictor backed by the paper's Table 3.
+func FromPaper() *Predictor { return &Predictor{exprs: paper.Table3} }
+
+// New returns a predictor over the given expressions (e.g. fits
+// regenerated from the simulator).
+func New(exprs map[string]map[machine.Op]fit.Expression) *Predictor {
+	return &Predictor{exprs: exprs}
+}
+
+// Machines returns the machine names known to the predictor, sorted.
+func (pr *Predictor) Machines() []string {
+	out := make([]string, 0, len(pr.exprs))
+	for k := range pr.exprs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expression returns the expression for (mach, op).
+func (pr *Predictor) Expression(mach string, op machine.Op) (fit.Expression, bool) {
+	row, ok := pr.exprs[mach]
+	if !ok {
+		return fit.Expression{}, false
+	}
+	e, ok := row[op]
+	return e, ok
+}
+
+// Time predicts T(m, p) in µs. It panics on unknown machines or
+// operations — these are programming errors in a fixed study. The
+// per-byte rate is clamped at zero: several Table 3 fits have small
+// negative terms that would go non-physical outside the measured range
+// (e.g. the SP2 total exchange at p = 2).
+func (pr *Predictor) Time(mach string, op machine.Op, m, p int) float64 {
+	e, ok := pr.Expression(mach, op)
+	if !ok {
+		panic("model: no expression for " + mach + "/" + string(op))
+	}
+	perByte := e.EvalPerByte(p)
+	if perByte < 0 {
+		perByte = 0
+	}
+	return e.EvalStartup(p) + perByte*float64(m)
+}
+
+// Startup predicts T0(p) in µs.
+func (pr *Predictor) Startup(mach string, op machine.Op, p int) float64 {
+	e, ok := pr.Expression(mach, op)
+	if !ok {
+		panic("model: no expression for " + mach + "/" + string(op))
+	}
+	return e.EvalStartup(p)
+}
+
+// Bandwidth predicts the asymptotic aggregated bandwidth R∞(p) in MB/s.
+func (pr *Predictor) Bandwidth(mach string, op machine.Op, p int) float64 {
+	e, ok := pr.Expression(mach, op)
+	if !ok {
+		panic("model: no expression for " + mach + "/" + string(op))
+	}
+	return paper.AggregatedBandwidthMBs(e, op, p)
+}
+
+// Rank orders the predictor's machines from fastest to slowest for one
+// (op, m, p) configuration — the paper's point that rankings flip with
+// message length and operation.
+func (pr *Predictor) Rank(op machine.Op, m, p int) []string {
+	machines := pr.Machines()
+	sort.Slice(machines, func(i, j int) bool {
+		return pr.Time(machines[i], op, m, p) < pr.Time(machines[j], op, m, p)
+	})
+	return machines
+}
+
+// Crossover finds the message length at which machine b becomes faster
+// than machine a for the given operation and size, searching lengths in
+// [lo, hi]. It returns the smallest such m and true, or 0 and false if
+// the ranking never flips in range.
+func (pr *Predictor) Crossover(a, b string, op machine.Op, p, lo, hi int) (int, bool) {
+	if lo < 1 {
+		lo = 1
+	}
+	if pr.Time(b, op, lo, p) < pr.Time(a, op, lo, p) {
+		return lo, true // b already wins at the bottom of the range
+	}
+	// The difference is monotone in m (both models are affine in m), so
+	// binary search on the sign change.
+	if pr.Time(b, op, hi, p) >= pr.Time(a, op, hi, p) {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pr.Time(b, op, mid, p) < pr.Time(a, op, mid, p) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// EfficiencyLimit returns the fraction of the raw aggregated network
+// bandwidth (link rate × p) a collective achieves at saturation — the
+// paper's §5 observation that the SP2's 64-node total exchange consumed
+// only 33% of its raw capacity.
+func (pr *Predictor) EfficiencyLimit(mach string, op machine.Op, p int, linkMBs float64) float64 {
+	raw := linkMBs * float64(p)
+	if raw <= 0 {
+		return 0
+	}
+	return pr.Bandwidth(mach, op, p) / raw
+}
+
+// SweepTime evaluates T over a message-length sweep, for plotting.
+func (pr *Predictor) SweepTime(mach string, op machine.Op, p int, lengths []int) []float64 {
+	out := make([]float64, len(lengths))
+	for i, m := range lengths {
+		out[i] = pr.Time(mach, op, m, p)
+	}
+	return out
+}
+
+// IsFinite reports whether a predicted value is a usable number (fits
+// with negative per-byte terms can go negative at extreme ranges).
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

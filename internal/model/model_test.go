@@ -1,0 +1,262 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestFromPaperKnowsAllMachines(t *testing.T) {
+	pr := FromPaper()
+	ms := pr.Machines()
+	if len(ms) != 3 || ms[0] != "Paragon" || ms[1] != "SP2" || ms[2] != "T3D" {
+		t.Fatalf("machines = %v", ms)
+	}
+}
+
+func TestTimeMatchesPaperExample(t *testing.T) {
+	pr := FromPaper()
+	got := pr.Time("T3D", machine.OpAlltoall, 512, 64)
+	if got < 2800 || got > 2900 {
+		t.Fatalf("T3D alltoall(512,64) = %v, paper says 2.86 ms", got)
+	}
+}
+
+func TestBandwidthMatchesPaper(t *testing.T) {
+	pr := FromPaper()
+	if bw := pr.Bandwidth("T3D", machine.OpAlltoall, 64); bw < 1730 || bw > 1760 {
+		t.Fatalf("T3D R∞ = %v, want ≈1745", bw)
+	}
+}
+
+func TestRankShortMessagesSP2BeatsParagon(t *testing.T) {
+	// §9: "the SP2 outperforms the Paragon in any short messages less
+	// than 1 KBytes" — check the headline collectives.
+	pr := FromPaper()
+	for _, op := range []machine.Op{machine.OpAlltoall, machine.OpGather, machine.OpScatter, machine.OpBarrier} {
+		m := 64
+		if op == machine.OpBarrier {
+			m = 0
+		}
+		order := pr.Rank(op, m, 64)
+		if pos(order, "SP2") > pos(order, "Paragon") {
+			t.Errorf("%s short-message: SP2 should beat Paragon, got %v", op, order)
+		}
+	}
+}
+
+func TestRankLongMessagesParagonBeatsSP2ExceptReduce(t *testing.T) {
+	// §9: "The Paragon performs better than the SP2 in long messages,
+	// except the reduce operation."
+	pr := FromPaper()
+	for _, op := range []machine.Op{machine.OpBroadcast, machine.OpAlltoall, machine.OpGather, machine.OpScatter} {
+		order := pr.Rank(op, 65536, 64)
+		if pos(order, "Paragon") > pos(order, "SP2") {
+			t.Errorf("%s long-message: Paragon should beat SP2, got %v", op, order)
+		}
+	}
+	order := pr.Rank(machine.OpReduce, 65536, 64)
+	if pos(order, "SP2") > pos(order, "Paragon") {
+		t.Errorf("reduce long-message: SP2 should beat Paragon, got %v", order)
+	}
+}
+
+func TestT3DFastestAlmostEverywhere(t *testing.T) {
+	pr := FromPaper()
+	for _, op := range []machine.Op{machine.OpBroadcast, machine.OpAlltoall, machine.OpGather, machine.OpBarrier} {
+		for _, m := range []int{16, 4096, 65536} {
+			if op == machine.OpBarrier && m > 16 {
+				continue
+			}
+			if op == machine.OpAlltoall && m == 16 {
+				// The Table 3 fits themselves put the SP2's alltoall
+				// startup (1645 µs) a hair under the T3D's (1672 µs) at
+				// p=64 — fitting noise the paper's prose glosses over.
+				continue
+			}
+			if order := pr.Rank(op, m, 64); order[0] != "T3D" {
+				t.Errorf("%s m=%d: T3D should rank first, got %v", op, m, order)
+			}
+		}
+	}
+}
+
+func TestCrossoverSP2ParagonNearOneKB(t *testing.T) {
+	// §5/§9: the SP2→Paragon crossover sits around 1 KB for the bulk
+	// operations.
+	pr := FromPaper()
+	m, ok := pr.Crossover("SP2", "Paragon", machine.OpAlltoall, 64, 4, 65536)
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	// Table 3 places the 64-node total-exchange crossover near 12 KB;
+	// for broadcast the Paragon wins from the start. The generic "short
+	// messages < 1 KB favor the SP2" claim is tested via Rank above.
+	if m < 4096 || m > 32768 {
+		t.Fatalf("alltoall crossover at %d bytes, Table 3 places it near 12 KB", m)
+	}
+	mb, ok := pr.Crossover("SP2", "Paragon", machine.OpBroadcast, 64, 4, 65536)
+	if !ok || mb != 4 {
+		t.Fatalf("broadcast: Paragon should win from 4 B at p=64, got (%d, %v)", mb, ok)
+	}
+}
+
+func TestCrossoverAbsentWhenBNeverWins(t *testing.T) {
+	pr := FromPaper()
+	// The Paragon never overtakes the T3D on total exchange.
+	if m, ok := pr.Crossover("T3D", "Paragon", machine.OpAlltoall, 64, 4, 65536); ok {
+		t.Fatalf("phantom crossover at %d", m)
+	}
+}
+
+func TestCrossoverImmediateWhenBAlreadyWins(t *testing.T) {
+	pr := FromPaper()
+	m, ok := pr.Crossover("Paragon", "SP2", machine.OpAlltoall, 64, 4, 65536)
+	if !ok || m != 4 {
+		t.Fatalf("SP2 already wins at 4 B: got (%d, %v)", m, ok)
+	}
+}
+
+func TestEfficiencyLimitSP2TotalExchange(t *testing.T) {
+	// §5: the SP2's 64-node total exchange used ≈33% of the raw
+	// 2.56 GB/s aggregate.
+	pr := FromPaper()
+	eff := pr.EfficiencyLimit("SP2", machine.OpAlltoall, 64, 40)
+	if eff < 0.25 || eff > 0.40 {
+		t.Fatalf("SP2 alltoall efficiency = %.2f, paper says ≈0.33", eff)
+	}
+}
+
+func TestSweepTimeMonotone(t *testing.T) {
+	pr := FromPaper()
+	lengths := []int{4, 64, 1024, 16384, 65536}
+	ts := pr.SweepTime("Paragon", machine.OpGather, 32, lengths)
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("sweep not monotone: %v", ts)
+		}
+	}
+}
+
+func TestWorkloadBestSizeBalancesCompAndComm(t *testing.T) {
+	pr := FromPaper()
+	// A job with 0.5 s of serial work and a fixed-1KB alltoall: at small
+	// p compute dominates, at large p the O(p) alltoall startup does, so
+	// an interior size must win.
+	w := Workload{
+		SerialMicros: 5e5,
+		Op:           machine.OpAlltoall,
+		BytesPerPair: func(p int) int { return 1024 },
+		Steps:        1,
+	}
+	candidates := []int{2, 4, 8, 16, 32, 64, 128}
+	bestP, bestT := w.BestSize(pr, "SP2", candidates)
+	if bestP == 2 || bestP == 128 {
+		t.Fatalf("expected an interior optimum, got p=%d (%.0f µs)", bestP, bestT)
+	}
+	// The optimum must actually be no worse than its neighbors.
+	for _, p := range candidates {
+		if w.TotalTime(pr, "SP2", p) < bestT {
+			t.Fatalf("p=%d beats reported best p=%d", p, bestP)
+		}
+	}
+}
+
+func TestCommFractionGrowsWithMachineSize(t *testing.T) {
+	pr := FromPaper()
+	w := Workload{
+		SerialMicros: 1e6,
+		Op:           machine.OpAlltoall,
+		BytesPerPair: func(p int) int { return 1 << 20 / (p * p) },
+		Steps:        1,
+	}
+	small := w.CommFraction(pr, "Paragon", 4)
+	large := w.CommFraction(pr, "Paragon", 64)
+	if large <= small {
+		t.Fatalf("comm fraction should grow with p: %.3f → %.3f", small, large)
+	}
+}
+
+func pos(order []string, name string) int {
+	for i, v := range order {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestProgramSpeedupBoundedByAmdahl(t *testing.T) {
+	pr := FromPaper()
+	pg := Program{
+		Phases: []Phase{{
+			SerialMicros:       1e6,
+			SequentialFraction: 0.05,
+			Op:                 machine.OpAllreduce,
+		}},
+		Iterations: 10,
+	}
+	// OpAllreduce is not in Table 3 — use reduce for the model.
+	pg.Phases[0].Op = machine.OpReduce
+	pg.Phases[0].Bytes = func(p int) int { return 1024 }
+	for _, p := range []int{2, 16, 64} {
+		s := pg.Speedup(pr, "T3D", p)
+		amdahl := 1 / (0.05 + 0.95/float64(p))
+		if s <= 0 || s > amdahl {
+			t.Fatalf("speedup(%d) = %.2f exceeds Amdahl bound %.2f", p, s, amdahl)
+		}
+	}
+}
+
+func TestProgramEfficiencyDecreases(t *testing.T) {
+	pr := FromPaper()
+	pg := Program{
+		Phases: []Phase{{
+			SerialMicros: 5e5,
+			Op:           machine.OpAlltoall,
+			Bytes:        func(p int) int { return 4096 },
+		}},
+		Iterations: 1,
+	}
+	prev := 2.0
+	for _, p := range []int{2, 8, 32, 128} {
+		e := pg.Efficiency(pr, "Paragon", p)
+		if e >= prev {
+			t.Fatalf("efficiency not decreasing at p=%d: %.3f then %.3f", p, prev, e)
+		}
+		prev = e
+	}
+}
+
+func TestProgramKnee(t *testing.T) {
+	pr := FromPaper()
+	pg := Program{
+		Phases: []Phase{{
+			SerialMicros: 1e5,
+			Op:           machine.OpAlltoall,
+			Bytes:        func(p int) int { return 1024 },
+		}},
+	}
+	candidates := []int{2, 4, 8, 16, 32, 64, 128}
+	knee := pg.Knee(pr, "SP2", candidates, 0.5)
+	if knee == 0 || knee == 128 {
+		t.Fatalf("expected an interior scalability knee, got %d", knee)
+	}
+	// Above the knee, efficiency is below the threshold.
+	if pg.Efficiency(pr, "SP2", knee*2) >= 0.5 {
+		t.Fatalf("knee %d is not the boundary", knee)
+	}
+	// A machine with cheaper alltoall scales further at the same target.
+	t3dKnee := pg.Knee(pr, "T3D", []int{2, 4, 8, 16, 32, 64}, 0.5)
+	if t3dKnee < knee {
+		t.Fatalf("T3D knee %d below SP2's %d", t3dKnee, knee)
+	}
+}
+
+func TestProgramNoCommPhase(t *testing.T) {
+	pr := FromPaper()
+	pg := Program{Phases: []Phase{{SerialMicros: 1000}}}
+	if got := pg.TimeOn(pr, "T3D", 10); got != 100 {
+		t.Fatalf("pure compute phase = %v, want 100", got)
+	}
+}

@@ -1,0 +1,54 @@
+package model
+
+import "repro/internal/machine"
+
+// Workload describes a data-parallel job whose per-node computation
+// shrinks as nodes are added while collective communication grows — the
+// trade-off between "divided computation and collective communication"
+// the paper's abstract says its expressions are for.
+type Workload struct {
+	// SerialMicros is the total single-node computation time.
+	SerialMicros float64
+	// Op is the collective executed each step (e.g. the total exchange
+	// of a STAP corner turn).
+	Op machine.Op
+	// BytesPerPair is the per-pair message length of one collective as
+	// a function of p (data usually divides, so m shrinks with p).
+	BytesPerPair func(p int) int
+	// Steps is how many compute+collective iterations the job runs.
+	Steps int
+}
+
+// StepTime returns the predicted time of one step on p nodes in µs:
+// perfectly divided computation plus the collective.
+func (w Workload) StepTime(pr *Predictor, mach string, p int) float64 {
+	compute := w.SerialMicros / float64(p)
+	comm := pr.Time(mach, w.Op, w.BytesPerPair(p), p)
+	return compute + comm
+}
+
+// TotalTime returns the predicted job time on p nodes in µs.
+func (w Workload) TotalTime(pr *Predictor, mach string, p int) float64 {
+	return float64(w.Steps) * w.StepTime(pr, mach, p)
+}
+
+// BestSize returns the machine size among candidates that minimizes the
+// job time, with the predicted time. This is the (m, p) search the paper
+// suggests: "possible combinations of (m, p) should be tested to achieve
+// a shorter execution time".
+func (w Workload) BestSize(pr *Predictor, mach string, candidates []int) (bestP int, bestMicros float64) {
+	for i, p := range candidates {
+		t := w.TotalTime(pr, mach, p)
+		if i == 0 || t < bestMicros {
+			bestP, bestMicros = p, t
+		}
+	}
+	return bestP, bestMicros
+}
+
+// CommFraction returns the fraction of a step spent communicating on p
+// nodes — the quantity that tells a developer whether more nodes help.
+func (w Workload) CommFraction(pr *Predictor, mach string, p int) float64 {
+	comm := pr.Time(mach, w.Op, w.BytesPerPair(p), p)
+	return comm / w.StepTime(pr, mach, p)
+}

@@ -1,0 +1,91 @@
+package model
+
+import "repro/internal/machine"
+
+// Phase-structured MPP performance prediction — the use the paper's
+// conclusion points to ("The latency and messaging delays can be used to
+// predict MPP performance as reported in [32]", Xu & Hwang's early
+// prediction work). A program is a sequence of phases, each dividing
+// some computation over p nodes and ending in one collective; the
+// predictor turns the Table 3 expressions into speedup and efficiency
+// curves and finds the scalability knee.
+
+// Phase is one compute+communicate step of an SPMD program.
+type Phase struct {
+	// SerialMicros is the single-node computation time of this phase;
+	// it divides perfectly over p (the communication terms supply all
+	// the sub-linearity).
+	SerialMicros float64
+	// SequentialFraction (0..1) of the phase that does not parallelize
+	// (Amdahl term).
+	SequentialFraction float64
+	// Op ends the phase; empty means no communication.
+	Op machine.Op
+	// Bytes is the per-pair message length of the collective as a
+	// function of p.
+	Bytes func(p int) int
+}
+
+// Program is a phase sequence executed Iterations times.
+type Program struct {
+	Phases     []Phase
+	Iterations int
+}
+
+// TimeOn predicts the program's execution time on p nodes of mach, µs.
+func (pg Program) TimeOn(pr *Predictor, mach string, p int) float64 {
+	var per float64
+	for _, ph := range pg.Phases {
+		seq := ph.SerialMicros * ph.SequentialFraction
+		par := ph.SerialMicros * (1 - ph.SequentialFraction) / float64(p)
+		per += seq + par
+		if ph.Op != "" {
+			m := 0
+			if ph.Bytes != nil {
+				m = ph.Bytes(p)
+			}
+			per += pr.Time(mach, ph.Op, m, p)
+		}
+	}
+	it := pg.Iterations
+	if it < 1 {
+		it = 1
+	}
+	return float64(it) * per
+}
+
+// Speedup predicts T(1)/T(p). The single-node time has no communication.
+func (pg Program) Speedup(pr *Predictor, mach string, p int) float64 {
+	var serial float64
+	for _, ph := range pg.Phases {
+		serial += ph.SerialMicros
+	}
+	it := pg.Iterations
+	if it < 1 {
+		it = 1
+	}
+	t1 := float64(it) * serial
+	tp := pg.TimeOn(pr, mach, p)
+	if tp <= 0 {
+		return 0
+	}
+	return t1 / tp
+}
+
+// Efficiency predicts Speedup(p)/p.
+func (pg Program) Efficiency(pr *Predictor, mach string, p int) float64 {
+	return pg.Speedup(pr, mach, p) / float64(p)
+}
+
+// Knee returns the largest machine size among candidates whose
+// efficiency is at least minEff, or 0 if none qualifies — the practical
+// scalability limit of the program on that machine.
+func (pg Program) Knee(pr *Predictor, mach string, candidates []int, minEff float64) int {
+	best := 0
+	for _, p := range candidates {
+		if pg.Efficiency(pr, mach, p) >= minEff && p > best {
+			best = p
+		}
+	}
+	return best
+}

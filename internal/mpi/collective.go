@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+)
+
+// Algorithms selects the collective algorithm per operation, mirroring
+// the vendor MPI implementations the paper measured. Names come from the
+// coll registries, plus coll.AlgHardware for the T3D barrier circuit.
+type Algorithms struct {
+	Barrier   string
+	Bcast     string
+	Gather    string
+	Scatter   string
+	Alltoall  string
+	Reduce    string
+	Scan      string
+	Allgather string
+	Allreduce string
+}
+
+// DefaultAlgorithms returns the algorithm table of a machine's vendor
+// MPI, as the paper describes it:
+//
+//   - Tree-based broadcast/reduce/barrier everywhere (§8: "a treelike
+//     algorithm is usually employed"; EPCC MPI uses an unbalanced tree
+//     for barrier and broadcast, a binary tree for reduce [6]) — except
+//     the T3D barrier, which is the dedicated hardware circuit.
+//   - Linear gather/scatter and pairwise total exchange, whose O(p)
+//     startup the paper observes on all three machines.
+//   - Recursive-doubling scan (logarithmic startup, Fig. 1e).
+func DefaultAlgorithms(m *machine.Machine) Algorithms {
+	a := Algorithms{
+		Barrier:   coll.AlgTree,
+		Bcast:     coll.AlgBinomial,
+		Gather:    coll.AlgLinear,
+		Scatter:   coll.AlgLinear,
+		Alltoall:  coll.AlgPairwise,
+		Reduce:    coll.AlgBinomial,
+		Scan:      coll.AlgRecursiveDoubling,
+		Allgather: coll.AlgRing,
+		Allreduce: coll.AlgReduceBcast,
+	}
+	if m.HardwareBarrier() {
+		a.Barrier = coll.AlgHardware
+	}
+	return a
+}
+
+func lookup[V any](reg map[string]V, name, what string) V {
+	v, ok := reg[name]
+	if !ok {
+		panic(fmt.Sprintf("mpi: unknown %s algorithm %q", what, name))
+	}
+	return v
+}
+
+// enter charges the fixed per-call setup cost of a collective and
+// returns the cost-classed communicator the algorithm runs over.
+func (c *Comm) enter(op machine.Op) *Comm {
+	cl := c.w.cluster
+	if cost := cl.Machine().CallCost(op); cost > 0 {
+		c.proc.Sleep(cl.Jitter(cost))
+	}
+	return c.as(op)
+}
+
+// Barrier blocks until all processes have entered it (MPI_Barrier). On
+// the T3D this uses the hardwired AND-tree barrier network; elsewhere a
+// message-based algorithm from the coll package.
+func (c *Comm) Barrier() {
+	name := c.w.algs.Barrier
+	if name == coll.AlgHardware {
+		if c.group == nil {
+			c.w.cluster.HardwareBarrierEnter(c.proc)
+			return
+		}
+		// The hardwired barrier spans the whole partition; a
+		// sub-communicator must fall back to a software tree.
+		name = coll.AlgTree
+	}
+	lookup(coll.Barriers, name, "barrier")(c.enter(machine.OpBarrier))
+}
+
+// Bcast broadcasts data from root to all processes (MPI_Bcast); every
+// rank returns the message.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	return lookup(coll.Bcasts, c.w.algs.Bcast, "bcast")(c.enter(machine.OpBroadcast), root, data)
+}
+
+// Gather collects one equal-size block per rank at root (MPI_Gather);
+// root returns blocks in rank order, others nil.
+func (c *Comm) Gather(root int, mine []byte) [][]byte {
+	return lookup(coll.Gathers, c.w.algs.Gather, "gather")(c.enter(machine.OpGather), root, mine)
+}
+
+// Scatter distributes one block per rank from root (MPI_Scatter); the
+// root passes p blocks in rank order, every rank returns its own.
+func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
+	return lookup(coll.Scatters, c.w.algs.Scatter, "scatter")(c.enter(machine.OpScatter), root, blocks)
+}
+
+// Alltoall performs total exchange (MPI_Alltoall): every rank passes p
+// blocks (one per destination) and returns p blocks (one per source).
+func (c *Comm) Alltoall(blocks [][]byte) [][]byte {
+	return lookup(coll.Alltoalls, c.w.algs.Alltoall, "alltoall")(c.enter(machine.OpAlltoall), blocks)
+}
+
+// Reduce combines contributions elementwise with op onto root
+// (MPI_Reduce); root returns the result, others nil.
+func (c *Comm) Reduce(root int, mine []byte, op ReduceOp, dt Datatype) []byte {
+	return lookup(coll.Reduces, c.w.algs.Reduce, "reduce")(
+		c.enter(machine.OpReduce), root, mine, op.Combiner(dt))
+}
+
+// Scan computes the inclusive prefix reduction (MPI_Scan).
+func (c *Comm) Scan(mine []byte, op ReduceOp, dt Datatype) []byte {
+	return lookup(coll.Scans, c.w.algs.Scan, "scan")(
+		c.enter(machine.OpScan), mine, op.Combiner(dt))
+}
+
+// Allgather collects one block per rank at every rank (MPI_Allgather).
+func (c *Comm) Allgather(mine []byte) [][]byte {
+	return lookup(coll.Allgathers, c.w.algs.Allgather, "allgather")(c.enter(machine.OpAllgather), mine)
+}
+
+// Allreduce combines contributions and delivers the result to every
+// rank (MPI_Allreduce).
+func (c *Comm) Allreduce(mine []byte, op ReduceOp, dt Datatype) []byte {
+	return lookup(coll.Allreduces, c.w.algs.Allreduce, "allreduce")(
+		c.enter(machine.OpAllreduce), mine, op.Combiner(dt))
+}
+
+// Gatherv collects variable-size blocks at root (MPI_Gatherv); root
+// returns blocks in rank order, others nil.
+func (c *Comm) Gatherv(root int, mine []byte) [][]byte {
+	return coll.Gatherv(c.enter(machine.OpGather), root, mine)
+}
+
+// Scatterv distributes variable-size blocks from root (MPI_Scatterv).
+func (c *Comm) Scatterv(root int, blocks [][]byte) []byte {
+	return coll.Scatterv(c.enter(machine.OpScatter), root, blocks)
+}
+
+// Alltoallv performs total exchange with per-destination sizes
+// (MPI_Alltoallv).
+func (c *Comm) Alltoallv(blocks [][]byte) [][]byte {
+	return coll.Alltoallv(c.enter(machine.OpAlltoall), blocks)
+}
+
+// ReduceScatter reduces elementwise and leaves block i on rank i
+// (MPI_Reduce_scatter_block). The operation must be commutative, which
+// all predefined ReduceOps are.
+func (c *Comm) ReduceScatter(blocks [][]byte, op ReduceOp, dt Datatype) []byte {
+	return coll.ReduceScatter(c.enter(machine.OpReduce), blocks, op.Combiner(dt))
+}

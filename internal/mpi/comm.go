@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Comm is a rank's communicator handle — MPI_COMM_WORLD bound to one
+// process, or a sub-communicator produced by Split. It implements
+// coll.Transport, so the collective algorithms run directly over it with
+// per-operation costs looked up from the machine model. Group-relative
+// ranks are translated to world ranks at the wire, and each communicator
+// stamps its messages with a context ID so traffic in different
+// communicators can never match.
+type Comm struct {
+	w       *World
+	rank    int // world rank of this process
+	proc    *sim.Proc
+	opClass machine.Op
+
+	group    []int // world ranks of the members, nil for the world
+	myIdx    int   // my position in group (== rank when group is nil)
+	ctx      int   // communicator context ID (0 for the world)
+	splitSeq *int  // per-communicator Split counter (shared by as())
+}
+
+var _ coll.Transport = (*Comm)(nil)
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int {
+	if c.group == nil {
+		return c.rank
+	}
+	return c.myIdx
+}
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int {
+	if c.group == nil {
+		return c.w.cluster.Size()
+	}
+	return len(c.group)
+}
+
+// WorldRank returns this process's rank in MPI_COMM_WORLD.
+func (c *Comm) WorldRank() int { return c.rank }
+
+// worldRank translates a communicator-relative rank to a world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.group == nil {
+		return r
+	}
+	return c.group[r]
+}
+
+// localRank translates a world rank back into this communicator, or -1.
+func (c *Comm) localRank(world int) int {
+	if c.group == nil {
+		return world
+	}
+	for i, w := range c.group {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// wireTag namespaces a user/algorithm tag by the communicator context.
+func (c *Comm) wireTag(tag int) int { return c.ctx<<20 | tag }
+
+// Proc returns the underlying simulated process.
+func (c *Comm) Proc() *sim.Proc { return c.proc }
+
+// Cluster returns the cluster this world runs on.
+func (c *Comm) Cluster() *machine.Cluster { return c.w.cluster }
+
+// Wtime returns this node's wall-clock reading — like MPI_Wtime it uses
+// the node's own unsynchronized clock, so differences are only
+// meaningful within one rank (the reason behind the paper's max-reduce
+// measurement procedure).
+func (c *Comm) Wtime() sim.Time { return c.w.cluster.LocalClock(c.rank) }
+
+// Compute occupies this rank's CPU for d of simulated time, modeling
+// application computation between communication phases.
+func (c *Comm) Compute(d sim.Duration) { c.proc.Sleep(d) }
+
+// as returns a shallow copy of the communicator with the cost class set,
+// under which Send/Recv/Combine charge that operation's calibrated
+// overheads.
+func (c *Comm) as(op machine.Op) *Comm {
+	cc := *c
+	cc.opClass = op
+	return &cc
+}
+
+// Send transmits data to dst with the given tag. Messages up to the
+// machine's eager limit are buffered: the call returns once the sender
+// CPU has handed the data off, and delivery proceeds at the fabric's
+// pace. Larger messages use rendezvous-style flow control: the call
+// blocks until the data has left the node, as MPI_Send did on all three
+// machines — without this a looping sender would pre-book the network
+// arbitrarily far ahead.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	cl := c.w.cluster
+	m := cl.Machine()
+	wdst := c.worldRank(dst)
+	c.proc.Sleep(cl.Jitter(m.SendCost(c.opClass)))
+	txDone, arrive := cl.Net().TransferDetail(
+		c.rank, wdst, len(data), c.proc.Now(), m.InjMBs(c.opClass, len(data)))
+	st := c.w.ranks[wdst]
+	payload := data
+	src := c.rank
+	tg := c.wireTag(tag)
+	cl.Kernel().At(arrive, func() {
+		st.deliver(envelope{src: src, tag: tg, data: payload})
+	})
+	if len(data) > m.EagerLimit() {
+		if wait := txDone.Sub(c.proc.Now()); wait > 0 {
+			c.proc.Sleep(wait)
+		}
+	}
+}
+
+// Recv blocks until a message matching (src, tag) — either may be a
+// wildcard — has arrived and been processed, and returns its payload.
+func (c *Comm) Recv(src, tag int) []byte {
+	e := c.recvEnvelope(src, tag)
+	return e.data
+}
+
+// RecvFrom is Recv returning the actual source (communicator-relative),
+// for AnySource receives.
+func (c *Comm) RecvFrom(src, tag int) (data []byte, from int) {
+	e := c.recvEnvelope(src, tag)
+	return e.data, c.localRank(e.src)
+}
+
+func (c *Comm) recvEnvelope(src, tag int) envelope {
+	cl := c.w.cluster
+	st := c.w.ranks[c.rank]
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.worldRank(src)
+	}
+	wtag := tag
+	if tag != AnyTag {
+		wtag = c.wireTag(tag)
+	}
+	e, ok := st.take(wsrc, wtag)
+	if !ok {
+		req := &recvReq{src: wsrc, tag: wtag, done: sim.NewFuture[envelope](cl.Kernel(), "recv")}
+		st.posted = append(st.posted, req)
+		e = req.done.Await(c.proc)
+	}
+	c.proc.Sleep(cl.Jitter(cl.Machine().RecvCost(c.opClass)))
+	return e
+}
+
+// Sendrecv exchanges messages with two peers (possibly the same):
+// it injects the outgoing message, then blocks for the incoming one.
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Combine implements coll.Transport: it applies the reduction step and
+// charges the machine's arithmetic cost for this operation class.
+func (c *Comm) Combine(a, b []byte, f coll.Combiner) []byte {
+	cl := c.w.cluster
+	size := len(a)
+	if cost := cl.Machine().CombineCost(c.opClass, size); cost > 0 {
+		c.proc.Sleep(cl.Jitter(cost))
+	}
+	return f(a, b)
+}

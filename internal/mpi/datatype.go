@@ -1,0 +1,73 @@
+// Package mpi implements the subset of the Message Passing Interface the
+// paper's experiments use — ranks, tagged point-to-point messaging with
+// posted/unexpected matching, wall-clock time on unsynchronized node
+// clocks, and the seven collective operations of Table 1 (plus allgather
+// and allreduce) — running over the machine simulator. One process per
+// node, as in the paper's runs.
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Datatype describes the element type of a message buffer.
+type Datatype struct {
+	name string
+	size int
+}
+
+// Name returns the MPI-style type name.
+func (d Datatype) Name() string { return d.name }
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int { return d.size }
+
+// Count returns the number of elements in a buffer of len(b) bytes.
+func (d Datatype) Count(b []byte) int { return len(b) / d.size }
+
+// The datatypes used in this study. The paper's experiments use
+// single-precision floats exclusively (§2: "the data type of the message
+// elements is always MPI_FLOAT").
+var (
+	Float = Datatype{"MPI_FLOAT", 4}
+	Int32 = Datatype{"MPI_INT", 4}
+	Byte  = Datatype{"MPI_BYTE", 1}
+)
+
+// EncodeFloats packs float32 values little-endian, the wire format of
+// all numeric buffers in this package.
+func EncodeFloats(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// DecodeFloats unpacks a float32 buffer.
+func DecodeFloats(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// EncodeInts packs int32 values little-endian.
+func EncodeInts(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// DecodeInts unpacks an int32 buffer.
+func DecodeInts(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

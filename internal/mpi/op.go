@@ -1,0 +1,82 @@
+package mpi
+
+import "repro/internal/coll"
+
+// ReduceOp is an MPI reduction operation over a datatype.
+type ReduceOp struct {
+	name string
+	f32  func(a, b float32) float32
+	i32  func(a, b int32) int32
+}
+
+// Name returns the MPI-style operation name.
+func (o ReduceOp) Name() string { return o.name }
+
+// The standard predefined reduction operations used by the benchmarks.
+var (
+	Sum = ReduceOp{"MPI_SUM",
+		func(a, b float32) float32 { return a + b },
+		func(a, b int32) int32 { return a + b }}
+	Prod = ReduceOp{"MPI_PROD",
+		func(a, b float32) float32 { return a * b },
+		func(a, b int32) int32 { return a * b }}
+	Max = ReduceOp{"MPI_MAX",
+		func(a, b float32) float32 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		func(a, b int32) int32 {
+			if a > b {
+				return a
+			}
+			return b
+		}}
+	Min = ReduceOp{"MPI_MIN",
+		func(a, b float32) float32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		}}
+)
+
+// Combiner returns a coll.Combiner applying the operation elementwise
+// over buffers of the given datatype.
+func (o ReduceOp) Combiner(dt Datatype) coll.Combiner {
+	switch dt {
+	case Float:
+		return func(a, b []byte) []byte {
+			av, bv := DecodeFloats(a), DecodeFloats(b)
+			if len(av) != len(bv) {
+				panic("mpi: reduce operand length mismatch")
+			}
+			out := make([]float32, len(av))
+			for i := range out {
+				out[i] = o.f32(av[i], bv[i])
+			}
+			return EncodeFloats(out)
+		}
+	case Int32:
+		return func(a, b []byte) []byte {
+			av, bv := DecodeInts(a), DecodeInts(b)
+			if len(av) != len(bv) {
+				panic("mpi: reduce operand length mismatch")
+			}
+			out := make([]int32, len(av))
+			for i := range out {
+				out[i] = o.i32(av[i], bv[i])
+			}
+			return EncodeInts(out)
+		}
+	default:
+		panic("mpi: no combiner for datatype " + dt.Name())
+	}
+}

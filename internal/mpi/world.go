@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// envelope is a delivered message awaiting (or matching) a receive.
+type envelope struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+// recvReq is a posted receive awaiting a matching message.
+type recvReq struct {
+	src  int // or AnySource
+	tag  int // or AnyTag
+	done *sim.Future[envelope]
+}
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// rankState is the per-node messaging engine: the unexpected-message
+// queue and the posted-receive queue, matched in arrival/post order as
+// MPI requires.
+type rankState struct {
+	unexpected []envelope
+	posted     []*recvReq
+}
+
+func match(src, tag int, e envelope) bool {
+	return (src == AnySource || src == e.src) && (tag == AnyTag || tag == e.tag)
+}
+
+// deliver hands an arrived message to the first matching posted receive,
+// or queues it as unexpected.
+func (rs *rankState) deliver(e envelope) {
+	for i, req := range rs.posted {
+		if match(req.src, req.tag, e) {
+			rs.posted = append(rs.posted[:i], rs.posted[i+1:]...)
+			req.done.Resolve(e)
+			return
+		}
+	}
+	rs.unexpected = append(rs.unexpected, e)
+}
+
+// take removes and returns the first unexpected message matching
+// (src, tag), if any.
+func (rs *rankState) take(src, tag int) (envelope, bool) {
+	for i, e := range rs.unexpected {
+		if match(src, tag, e) {
+			rs.unexpected = append(rs.unexpected[:i], rs.unexpected[i+1:]...)
+			return e, true
+		}
+	}
+	return envelope{}, false
+}
+
+// World is one SPMD program execution: p rank processes over a cluster.
+type World struct {
+	cluster *machine.Cluster
+	ranks   []*rankState
+	algs    Algorithms
+}
+
+// Run executes body as p concurrent rank processes on a fresh cluster of
+// machine m and drives the simulation to completion. It returns an error
+// if any rank panics or the program deadlocks.
+func Run(m *machine.Machine, p int, seed int64, body func(c *Comm)) error {
+	return RunCluster(machine.NewCluster(m, p, seed), body)
+}
+
+// RunCluster is Run over an existing cluster (which carries kernel
+// state, clock skews, and network occupancy), using the machine's
+// default algorithm table.
+func RunCluster(cl *machine.Cluster, body func(c *Comm)) error {
+	return RunWithAlgorithms(cl, DefaultAlgorithms(cl.Machine()), body)
+}
+
+// RunWithAlgorithms is RunCluster with an explicit algorithm table,
+// used by the ablation benchmarks to compare collective algorithms on
+// the same machine.
+func RunWithAlgorithms(cl *machine.Cluster, algs Algorithms, body func(c *Comm)) error {
+	w := &World{
+		cluster: cl,
+		ranks:   make([]*rankState, cl.Size()),
+		algs:    algs,
+	}
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{}
+	}
+	for r := 0; r < cl.Size(); r++ {
+		r := r
+		cl.Kernel().Go(fmt.Sprintf("rank-%d", r), func(proc *sim.Proc) {
+			body(&Comm{w: w, rank: r, proc: proc, opClass: machine.OpP2P, splitSeq: new(int)})
+		})
+	}
+	return cl.Kernel().Run()
+}

@@ -1,0 +1,221 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testNet() *Network {
+	k := sim.New(1)
+	return New(k, topology.NewCrossbar(8), Params{
+		HopLatency:       100, // 100 ns
+		LinkBandwidthMBs: 100, // 10 ns/byte
+		InjectionMBs:     100,
+	})
+}
+
+func TestUncontendedWormholeFormula(t *testing.T) {
+	n := testNet()
+	// 2 hops * 100ns + 1000 bytes * 10ns/B = 200 + 10000 = 10200ns.
+	got := n.Transfer(0, 1, 1000, 0)
+	if got != 10200 {
+		t.Fatalf("arrival = %d, want 10200", got)
+	}
+	if n.UncontendedLatency(0, 1, 1000) != 10200 {
+		t.Fatalf("UncontendedLatency mismatch")
+	}
+}
+
+func TestZeroByteTransferIsHeaderOnly(t *testing.T) {
+	n := testNet()
+	if got := n.Transfer(0, 1, 0, 0); got != 200 {
+		t.Fatalf("control packet arrival = %d, want 200", got)
+	}
+}
+
+func TestIntraNodeTransferSkipsNetwork(t *testing.T) {
+	n := testNet()
+	got := n.Transfer(3, 3, 1000, 50)
+	if got != 50+10000 {
+		t.Fatalf("intra-node arrival = %d, want 10050", got)
+	}
+	if n.Transfers() != 0 {
+		t.Fatal("intra-node copy should not count as a network transfer")
+	}
+}
+
+func TestInjectionPortSerializesSends(t *testing.T) {
+	n := testNet()
+	// Two back-to-back sends from node 0 to different destinations must
+	// serialize at node 0's injection port.
+	a := n.Transfer(0, 1, 1000, 0)
+	b := n.Transfer(0, 2, 1000, 0)
+	if a != 10200 {
+		t.Fatalf("first arrival %d", a)
+	}
+	// Second send can begin only when the first's tail has crossed the
+	// injection link: 10000 (serialization) + 100 (tail hop) = 10100.
+	if b != 10100+10200 {
+		t.Fatalf("second arrival = %d, want 20300", b)
+	}
+}
+
+func TestEjectionPortSerializesReceives(t *testing.T) {
+	n := testNet()
+	a := n.Transfer(1, 0, 1000, 0)
+	b := n.Transfer(2, 0, 1000, 0)
+	if a != 10200 {
+		t.Fatalf("first arrival %d", a)
+	}
+	if b <= a {
+		t.Fatalf("concurrent receives did not serialize: %d then %d", a, b)
+	}
+}
+
+func TestDisjointPairsDoNotContend(t *testing.T) {
+	n := testNet()
+	a := n.Transfer(0, 1, 1000, 0)
+	b := n.Transfer(2, 3, 1000, 0)
+	if a != b {
+		t.Fatalf("disjoint transfers should complete together: %d vs %d", a, b)
+	}
+	if n.ContentionTime() != 0 {
+		t.Fatalf("unexpected contention: %v", n.ContentionTime())
+	}
+}
+
+func TestSharedMeshLinkContends(t *testing.T) {
+	k := sim.New(1)
+	m := topology.NewMesh2D(4, 1) // a 4-node chain
+	n := New(k, m, Params{HopLatency: 100, LinkBandwidthMBs: 100, InjectionMBs: 100})
+	// 0→3 and 1→3 share links (1→2, 2→3).
+	a := n.Transfer(0, 3, 1000, 0)
+	b := n.Transfer(1, 3, 1000, 0)
+	if b <= a {
+		t.Fatalf("shared-link transfers must serialize: %d then %d", a, b)
+	}
+	if n.ContentionTime() == 0 {
+		t.Fatal("contention not recorded")
+	}
+}
+
+func TestBottleneckIsMinOfLinkAndInjection(t *testing.T) {
+	k := sim.New(1)
+	n := New(k, topology.NewCrossbar(4), Params{
+		HopLatency:       0,
+		LinkBandwidthMBs: 1000,
+		InjectionMBs:     10, // 100 ns/byte — the bottleneck
+	})
+	if got := n.Transfer(0, 1, 100, 0); got != 10000 {
+		t.Fatalf("arrival = %d, want 10000 (injection-limited)", got)
+	}
+}
+
+func TestReadyTimeRespected(t *testing.T) {
+	n := testNet()
+	if got := n.Transfer(0, 1, 0, 5000); got != 5200 {
+		t.Fatalf("arrival = %d, want 5200", got)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	n := testNet()
+	n.Transfer(0, 1, 4096, 0)
+	n.Transfer(0, 2, 4096, 0)
+	n.Reset()
+	if n.Transfers() != 0 || n.BytesMoved() != 0 || n.ContentionTime() != 0 {
+		t.Fatal("stats not cleared")
+	}
+	if got := n.Transfer(0, 1, 1000, 0); got != 10200 {
+		t.Fatalf("occupancy not cleared: %d", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := testNet()
+	n.Transfer(0, 1, 100, 0)
+	n.Transfer(1, 2, 200, 0)
+	if n.Transfers() != 2 || n.BytesMoved() != 300 {
+		t.Fatalf("transfers=%d bytes=%d", n.Transfers(), n.BytesMoved())
+	}
+}
+
+func TestWireLatencyAdds(t *testing.T) {
+	k := sim.New(1)
+	n := New(k, topology.NewCrossbar(4), Params{
+		HopLatency: 100, LinkBandwidthMBs: 100, InjectionMBs: 100, WireLatency: 1000,
+	})
+	if got := n.Transfer(0, 1, 0, 0); got != 1200 {
+		t.Fatalf("arrival = %d, want 1200", got)
+	}
+}
+
+func TestTorusManyToOneFunnels(t *testing.T) {
+	// All nodes sending to node 0 must serialize at 0's ejection port:
+	// total time ≥ (p-1) * serialization.
+	k := sim.New(1)
+	to := topology.NewTorus3D(2, 2, 2)
+	n := New(k, to, Params{HopLatency: 20, LinkBandwidthMBs: 300, InjectionMBs: 100})
+	var last sim.Time
+	for src := 1; src < 8; src++ {
+		if got := n.Transfer(src, 0, 10000, 0); got > last {
+			last = got
+		}
+	}
+	ser := sim.PerByte(10000, 100)
+	if last < sim.Time(7*ser) {
+		t.Fatalf("funnel completed at %d, want ≥ %d", last, 7*ser)
+	}
+}
+
+func TestPropertyArrivalNeverBeforeUncontended(t *testing.T) {
+	// Under any traffic, a transfer can never complete faster than its
+	// zero-load latency from its ready time.
+	k := sim.New(1)
+	to := topology.NewTorus3D(4, 4, 2)
+	n := New(k, to, Params{HopLatency: 20, LinkBandwidthMBs: 300, InjectionMBs: 27})
+	prop := func(srcs, dsts [6]uint8, sizes [6]uint16) bool {
+		n.Reset()
+		var ready sim.Time
+		for i := 0; i < 6; i++ {
+			src := int(srcs[i]) % to.Nodes()
+			dst := int(dsts[i]) % to.Nodes()
+			size := int(sizes[i])
+			arrive := n.Transfer(src, dst, size, ready)
+			if src != dst {
+				min := ready.Add(n.UncontendedLatency(src, dst, size))
+				if arrive < min {
+					return false
+				}
+			}
+			ready = ready.Add(10)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyArrivalMonotoneInReadyTime(t *testing.T) {
+	// Same transfer issued later must not arrive earlier.
+	k := sim.New(1)
+	n := New(k, topology.NewMesh2D(4, 4), Params{HopLatency: 40, LinkBandwidthMBs: 175, InjectionMBs: 14})
+	prop := func(r1, r2 uint16, size uint16) bool {
+		a, b := sim.Time(r1), sim.Time(r2)
+		if a > b {
+			a, b = b, a
+		}
+		n.Reset()
+		t1 := n.Transfer(0, 5, int(size), a)
+		n.Reset()
+		t2 := n.Transfer(0, 5, int(size), b)
+		return t2 >= t1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

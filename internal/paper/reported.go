@@ -1,0 +1,78 @@
+package paper
+
+import "repro/internal/machine"
+
+// SpotValue is a number quoted in the paper's prose, used as a
+// consistency check on Table 3 and as a reproduction target.
+type SpotValue struct {
+	Where   string // section of the paper
+	Machine string
+	Op      machine.Op
+	P       int
+	M       int     // bytes; 0 where not applicable
+	Value   float64 // in the unit named by Unit
+	Unit    string
+}
+
+// Reported lists the paper's quoted numbers.
+var Reported = []SpotValue{
+	// §4: measured 64-node T3D startup latencies.
+	{"§4", "T3D", machine.OpBroadcast, 64, 0, 150, "µs"},
+	{"§4", "T3D", machine.OpAlltoall, 64, 0, 1700, "µs"},
+	{"§4", "T3D", machine.OpScatter, 64, 0, 298, "µs"},
+	{"§4", "T3D", machine.OpGather, 64, 0, 365, "µs"},
+	{"§4", "T3D", machine.OpScan, 64, 0, 209, "µs"},
+	{"§4", "T3D", machine.OpReduce, 64, 0, 253, "µs"},
+	// §4: lowest T3D latency — broadcast to two nodes.
+	{"§4", "T3D", machine.OpBroadcast, 2, 0, 35, "µs"},
+	// Abstract/§9: T3D hardwired barrier ≈ 3 µs.
+	{"abstract", "T3D", machine.OpBarrier, 64, 0, 3, "µs"},
+	// §5: SP2 64-node total exchange of 64 KB messages takes 317 ms.
+	{"§5", "SP2", machine.OpAlltoall, 64, 65536, 317_000, "µs"},
+	// §8: example evaluation of the T3D total-exchange expression.
+	{"§8", "T3D", machine.OpAlltoall, 64, 512, 2860, "µs"},
+	// §8: aggregated bandwidths of 64-node total exchange.
+	{"§8", "T3D", machine.OpAlltoall, 64, -1, 1745, "MB/s"},
+	{"§8", "Paragon", machine.OpAlltoall, 64, -1, 879, "MB/s"},
+	{"§8", "SP2", machine.OpAlltoall, 64, -1, 818, "MB/s"},
+}
+
+// HopLatenciesNs are the per-hop network latencies of §4.
+var HopLatenciesNs = map[string]int64{"SP2": 125, "T3D": 20, "Paragon": 40}
+
+// NetworkBandwidthsMBs are the reported raw network bandwidths of §5.
+var NetworkBandwidthsMBs = map[string]float64{"SP2": 40, "T3D": 300, "Paragon": 175}
+
+// Fig4Latencies are the startup latencies called out in §7 for the
+// 32-node, 1 KB case: the Paragon's total exchange and gather latencies
+// ("3857 µs and 2918 µs, about 4 to 15 times greater than the SP2 and
+// T3D counterparts").
+var Fig4Latencies = []SpotValue{
+	{"§7", "Paragon", machine.OpAlltoall, 32, 1024, 3857, "µs"},
+	{"§7", "Paragon", machine.OpGather, 32, 1024, 2918, "µs"},
+}
+
+// MaxNodes is the largest allocation per machine in the study (§2).
+var MaxNodes = map[string]int{"SP2": 128, "T3D": 64, "Paragon": 128}
+
+// MachineSizes returns the p sweep of the study for one machine:
+// 2, 4, …, up to 128 (64 on the T3D).
+func MachineSizes(mach string) []int {
+	max := MaxNodes[mach]
+	var out []int
+	for p := 2; p <= max; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// MessageLengths returns the m sweep of the study: 4 B to 64 KB in
+// factor-of-4 steps (§2: "message length m varies from 4, 16, …, to
+// 64 KBytes").
+func MessageLengths() []int {
+	var out []int
+	for m := 4; m <= 65536; m *= 4 {
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package paper encodes the published results of Hwang, Wang & Wang
+// (HPCA 1997) as data: the 21 fitted timing expressions of Table 3, the
+// spot values quoted in the text (§4 latencies, §5 total-exchange
+// example, §8 aggregated bandwidths), and the structure of every figure
+// and table the evaluation reports. The reproduction harness compares
+// its own measurements against these.
+package paper
+
+import (
+	"repro/internal/fit"
+	"repro/internal/machine"
+)
+
+// lin and lg build Table 3 terms tersely.
+func lin(a, b float64) fit.Form { return fit.Form{Kind: fit.Linear, A: a, B: b} }
+func lg(a, b float64) fit.Form  { return fit.Form{Kind: fit.Log, A: a, B: b} }
+
+// Table3 holds the paper's fitted timing expressions in µs (m in
+// bytes, log base 2), keyed by machine name then operation.
+var Table3 = map[string]map[machine.Op]fit.Expression{
+	"SP2": {
+		machine.OpBarrier:   {Startup: lg(123, -90)},
+		machine.OpBroadcast: {Startup: lg(55, 30), PerByte: lg(0.014, 0.053)},
+		machine.OpGather:    {Startup: lin(3.7, 128), PerByte: lin(0.022, -0.011)},
+		machine.OpScatter:   {Startup: lin(5.8, 77), PerByte: lin(0.039, -0.12)},
+		machine.OpReduce:    {Startup: lg(63, 26), PerByte: lg(0.016, 0.071)},
+		machine.OpScan:      {Startup: lg(100, -43), PerByte: lin(0.0010, 0.23)},
+		machine.OpAlltoall:  {Startup: lin(24, 90), PerByte: lin(0.082, -0.29)},
+	},
+	"T3D": {
+		machine.OpBarrier:   {Startup: lg(0.011, 3)},
+		machine.OpBroadcast: {Startup: lg(23, 12), PerByte: lg(0.013, -0.0071)},
+		machine.OpGather:    {Startup: lin(5.3, 30), PerByte: lin(0.0047, 0.0084)},
+		machine.OpScatter:   {Startup: lin(4.3, 67), PerByte: lin(0.0057, 0.16)},
+		machine.OpReduce:    {Startup: lg(34, 49), PerByte: lg(0.061, -0.00035)},
+		machine.OpScan:      {Startup: lg(28, 41), PerByte: lin(0.0046, 0.12)},
+		machine.OpAlltoall:  {Startup: lin(26, 8.6), PerByte: lin(0.038, -0.12)},
+	},
+	"Paragon": {
+		machine.OpBarrier:   {Startup: lg(147, -66)},
+		machine.OpBroadcast: {Startup: lg(52, 15), PerByte: lg(0.019, -0.022)},
+		machine.OpGather:    {Startup: lin(48, 15), PerByte: lin(0.0081, 0.039)},
+		machine.OpScatter:   {Startup: lin(18, 78), PerByte: lin(0.0031, 0.039)},
+		machine.OpReduce:    {Startup: lg(77, 3.6), PerByte: lg(0.16, -0.028)},
+		machine.OpScan:      {Startup: lg(10, 73), PerByte: lin(0.0033, 0.28)},
+		machine.OpAlltoall:  {Startup: lin(97, 82), PerByte: lin(0.073, -0.10)},
+	},
+}
+
+// Expression returns the Table 3 entry for (machine, op).
+func Expression(mach string, op machine.Op) (fit.Expression, bool) {
+	row, ok := Table3[mach]
+	if !ok {
+		return fit.Expression{}, false
+	}
+	e, ok := row[op]
+	return e, ok
+}
+
+// StartupShape returns the p-dependence the paper reports for an
+// operation's startup latency (§8): logarithmic for the tree-based
+// barrier, broadcast, reduce and scan; linear for gather, scatter, and
+// total exchange.
+func StartupShape(op machine.Op) fit.FormKind {
+	switch op {
+	case machine.OpGather, machine.OpScatter, machine.OpAlltoall:
+		return fit.Linear
+	default:
+		return fit.Log
+	}
+}
+
+// PerByteShape returns the p-dependence Table 3 uses for the per-byte
+// term of an operation.
+func PerByteShape(mach string, op machine.Op) fit.FormKind {
+	if e, ok := Expression(mach, op); ok {
+		return e.PerByte.Kind
+	}
+	return StartupShape(op)
+}
+
+// AggregatedMultiplier returns f(m,p)/m (§3): the number of per-pair
+// messages a collective moves. m(p−1) for the one-to-many/many-to-one
+// operations and the reductions; m·p(p−1) for total exchange.
+func AggregatedMultiplier(op machine.Op, p int) float64 {
+	switch op {
+	case machine.OpAlltoall:
+		return float64(p) * float64(p-1)
+	case machine.OpBarrier:
+		return 0
+	default:
+		return float64(p - 1)
+	}
+}
+
+// AggregatedBandwidthMBs returns the paper's asymptotic aggregated
+// bandwidth R∞(p) in MB/s implied by an expression (§8, Eq. 4):
+// f(m,p)/(s(p)·m) with s in µs/byte.
+func AggregatedBandwidthMBs(e fit.Expression, op machine.Op, p int) float64 {
+	s := e.EvalPerByte(p)
+	if s <= 0 {
+		return 0
+	}
+	return AggregatedMultiplier(op, p) / s
+}

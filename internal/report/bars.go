@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bar is one horizontal bar, optionally stacked into two segments — the
+// shape of the paper's Fig. 4 (startup + transmission) and Fig. 5
+// (aggregated bandwidth) charts.
+type Bar struct {
+	Label string
+	Seg1  float64 // first (dark) segment, e.g. startup latency
+	Seg2  float64 // second segment, e.g. transmission delay; 0 for plain bars
+}
+
+// NewBar returns a plain bar.
+func NewBar(label string, value float64) Bar { return Bar{Label: label, Seg1: value} }
+
+// NewStackedBar returns a two-segment bar.
+func NewStackedBar(label string, seg1, seg2 float64) Bar {
+	return Bar{Label: label, Seg1: seg1, Seg2: seg2}
+}
+
+// BarChart renders horizontal ASCII bars scaled to width columns:
+// '#' for the first segment, '·' for the second, with the numeric total
+// at the end of each row.
+func BarChart(w io.Writer, title, unit string, bars []Bar, width int) {
+	if width < 10 {
+		width = 10
+	}
+	fmt.Fprintln(w, title)
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if t := b.Seg1 + b.Seg2; t > max {
+			max = t
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, b := range bars {
+		n1 := int(b.Seg1 / max * float64(width))
+		n2 := int((b.Seg1 + b.Seg2) / max * float64(width))
+		if n2 < n1 {
+			n2 = n1
+		}
+		bar := strings.Repeat("#", n1) + strings.Repeat("·", n2-n1)
+		fmt.Fprintf(w, "  %-*s |%-*s| %s %s\n",
+			labelW, b.Label, width, bar, formatY(b.Seg1+b.Seg2), unit)
+	}
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Comparison is one paper-vs-measured check for EXPERIMENTS.md and the
+// figure tools: what the paper reports, what the reproduction measured,
+// and the ratio.
+type Comparison struct {
+	Label    string  // e.g. "T3D alltoall T0(64)"
+	Paper    float64 // the paper's number
+	Measured float64 // ours
+	Unit     string
+}
+
+// Ratio returns measured/paper (NaN-safe).
+func (c Comparison) Ratio() float64 {
+	if c.Paper == 0 {
+		return math.NaN()
+	}
+	return c.Measured / c.Paper
+}
+
+// Within reports whether the measurement is within a multiplicative
+// factor of the paper's value (factor ≥ 1; 2 means between ½× and 2×).
+func (c Comparison) Within(factor float64) bool {
+	r := c.Ratio()
+	return r >= 1/factor && r <= factor
+}
+
+// WriteComparisons renders a comparison table.
+func WriteComparisons(w io.Writer, title string, cs []Comparison) {
+	fmt.Fprintln(w, title)
+	header := []string{"check", "paper", "measured", "ratio", "unit"}
+	rows := make([][]string, 0, len(cs))
+	for _, c := range cs {
+		rows = append(rows, []string{
+			c.Label,
+			formatY(c.Paper),
+			formatY(c.Measured),
+			fmt.Sprintf("%.2f", c.Ratio()),
+			c.Unit,
+		})
+	}
+	writeAlignedLeft(w, header, rows)
+}
+
+func writeAlignedLeft(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		s := "  "
+		for i, c := range cells {
+			if i == 0 {
+				s += fmt.Sprintf("%-*s", widths[i]+2, c)
+			} else {
+				s += fmt.Sprintf("%*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, s)
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// ExpressionRow is one Table 3 line: the paper's expression next to the
+// refitted one.
+type ExpressionRow struct {
+	Machine string
+	Op      string
+	Paper   string
+	Fitted  string
+}
+
+// WriteExpressionTable renders a Table 3 reproduction.
+func WriteExpressionTable(w io.Writer, title string, rows []ExpressionRow) {
+	fmt.Fprintln(w, title)
+	header := []string{"machine", "operation", "paper (Table 3)", "refit from simulator"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{r.Machine, r.Op, r.Paper, r.Fitted})
+	}
+	writeAlignedLeft(w, header, cells)
+}

@@ -1,0 +1,141 @@
+// Package report renders the reproduction's outputs: figure series
+// (machine curves over a swept axis), Table 3-style expression tables,
+// paper-vs-measured comparisons, and CSV for external plotting. Output
+// is plain text so the cmd tools compose with standard tooling.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one machine's curve in a figure: Y values (µs or MB/s) over
+// the swept X axis.
+type Series struct {
+	Label string
+	X     []int
+	Y     []float64
+}
+
+// Figure is a set of series sharing an axis, one per machine.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteTable renders the figure as an aligned table, one row per X
+// value, one column per series; missing points print as "-". X values
+// are the union of all series' X sets.
+func (f *Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", f.Title)
+	xs := f.unionX()
+
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				row = append(row, formatY(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, header, rows, f.YLabel)
+}
+
+func (f *Figure) unionX() []int {
+	seen := map[int]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			seen[x] = true
+		}
+	}
+	xs := make([]int, 0, len(seen))
+	for x := range seen {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+func (s *Series) at(x int) (float64, bool) {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func formatY(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 10:
+		return fmt.Sprintf("%.2f", v)
+	case v < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string, note string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+	if note != "" {
+		fmt.Fprintf(w, "  (values in %s)\n", note)
+	}
+}
+
+// WriteCSV renders the figure as CSV with an x column and one column per
+// series.
+func (f *Figure) WriteCSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, x := range f.unionX() {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				row = append(row, fmt.Sprintf("%g", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		Title:  "Fig. 1a Broadcast startup latency",
+		XLabel: "p",
+		YLabel: "µs",
+		Series: []Series{
+			{Label: "SP2", X: []int{2, 4, 8}, Y: []float64{85, 140, 195.4}},
+			{Label: "T3D", X: []int{2, 4, 8}, Y: []float64{35, 58, 81.1}},
+			{Label: "Paragon", X: []int{2, 4}, Y: []float64{67, 119}},
+		},
+	}
+}
+
+func TestWriteTableContainsAllSeries(t *testing.T) {
+	var b strings.Builder
+	sampleFigure().WriteTable(&b)
+	out := b.String()
+	for _, want := range []string{"SP2", "T3D", "Paragon", "85.0", "81.1", "µs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Paragon has no p=8 point: a dash must appear.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-point dash absent:\n%s", out)
+	}
+}
+
+func TestWriteTableRowOrder(t *testing.T) {
+	var b strings.Builder
+	sampleFigure().WriteTable(&b)
+	out := b.String()
+	if strings.Index(out, "\n  2  ") > strings.Index(out, "\n  8  ") && strings.Index(out, "\n  8  ") > 0 {
+		t.Fatalf("rows not in ascending x order:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	sampleFigure().WriteCSV(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "p,SP2,T3D,Paragon" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines, want 4", len(lines))
+	}
+	if !strings.HasSuffix(lines[3], ",") { // Paragon missing at p=8
+		t.Fatalf("missing value should be empty field: %q", lines[3])
+	}
+}
+
+func TestComparisonRatioAndWithin(t *testing.T) {
+	c := Comparison{Label: "x", Paper: 100, Measured: 150}
+	if r := c.Ratio(); r != 1.5 {
+		t.Fatalf("ratio %v", r)
+	}
+	if !c.Within(2) || c.Within(1.2) {
+		t.Fatal("Within misjudged")
+	}
+	inv := Comparison{Paper: 100, Measured: 50}
+	if !inv.Within(2) {
+		t.Fatal("½× should be within factor 2")
+	}
+	zero := Comparison{Paper: 0, Measured: 1}
+	if !math.IsNaN(zero.Ratio()) {
+		t.Fatal("zero paper value should give NaN ratio")
+	}
+}
+
+func TestWriteComparisons(t *testing.T) {
+	var b strings.Builder
+	WriteComparisons(&b, "Spot checks", []Comparison{
+		{Label: "T3D barrier", Paper: 3, Measured: 3.1, Unit: "µs"},
+		{Label: "SP2 alltoall", Paper: 317000, Measured: 340000, Unit: "µs"},
+	})
+	out := b.String()
+	for _, want := range []string{"Spot checks", "T3D barrier", "1.03", "1.07"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteExpressionTable(t *testing.T) {
+	var b strings.Builder
+	WriteExpressionTable(&b, "Table 3", []ExpressionRow{
+		{Machine: "T3D", Op: "alltoall", Paper: "(26p + 8.6) + (0.038p - 0.12)m", Fitted: "(25.9p + 10) + (0.039p - 0.1)m"},
+	})
+	out := b.String()
+	if !strings.Contains(out, "26p + 8.6") || !strings.Contains(out, "refit") {
+		t.Fatalf("expression table wrong:\n%s", out)
+	}
+}
+
+func TestFormatY(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.14159: "3.14",
+		99.9:    "99.9",
+		12345:   "12345",
+	}
+	for v, want := range cases {
+		if got := formatY(v); got != want {
+			t.Errorf("formatY(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBarChartRendering(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "Fig. 4 breakdown", "µs", []Bar{
+		NewStackedBar("SP2", 858, 2390),
+		NewStackedBar("T3D", 845, 1118),
+		NewBar("Paragon", 5476),
+	}, 40)
+	out := b.String()
+	if !strings.Contains(out, "Fig. 4 breakdown") || !strings.Contains(out, "#") {
+		t.Fatalf("chart missing pieces:\n%s", out)
+	}
+	// Longest bar (Paragon) must reach full width; shorter ones must not.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	count := func(s string) int { return strings.Count(s, "#") + strings.Count(s, "·") }
+	if count(lines[3]) != 40 {
+		t.Fatalf("max bar has %d cells, want 40:\n%s", count(lines[3]), out)
+	}
+	if count(lines[1]) >= count(lines[3]) {
+		t.Fatalf("shorter bar not shorter:\n%s", out)
+	}
+	// Stacked bar contains both segment glyphs.
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[1], "·") {
+		t.Fatalf("stacked bar missing segments:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "empty", "µs", []Bar{NewBar("x", 0)}, 20)
+	if !strings.Contains(b.String(), "x") {
+		t.Fatal("label missing")
+	}
+}

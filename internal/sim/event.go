@@ -1,0 +1,40 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. Events with equal times execute in
+// scheduling order (seq), which makes zero-delay wakeups FIFO and the
+// whole simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+
+func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }

@@ -1,0 +1,56 @@
+package sim
+
+// Future is a one-shot completion carrying a value of type T. Processes
+// block on Await; any context (event callback or process) may Resolve it
+// exactly once. Multiple waiters are woken in FIFO order via zero-delay
+// events.
+type Future[T any] struct {
+	k        *Kernel
+	resolved bool
+	value    T
+	waiters  []*Proc
+	name     string
+}
+
+// NewFuture returns an unresolved future on kernel k. The name is used
+// in deadlock reports.
+func NewFuture[T any](k *Kernel, name string) *Future[T] {
+	return &Future[T]{k: k, name: name}
+}
+
+// Resolved reports whether the future has been resolved.
+func (f *Future[T]) Resolved() bool { return f.resolved }
+
+// Value returns the resolved value. It is only meaningful after Resolve.
+func (f *Future[T]) Value() T { return f.value }
+
+// Resolve completes the future with v and wakes all waiters. Resolving
+// twice panics: a future models a single event.
+func (f *Future[T]) Resolve(v T) {
+	if f.resolved {
+		panic("sim: future " + f.name + " resolved twice")
+	}
+	f.resolved = true
+	f.value = v
+	for _, w := range f.waiters {
+		w := w
+		f.k.After(0, func() { f.k.dispatch(w) })
+	}
+	f.waiters = nil
+}
+
+// Await blocks p until the future resolves and returns its value. If the
+// future is already resolved it returns immediately without yielding.
+func (f *Future[T]) Await(p *Proc) T {
+	if !f.resolved {
+		f.waiters = append(f.waiters, p)
+		p.park("future " + f.name)
+	}
+	return f.value
+}
+
+// Signal is a broadcast condition with no payload.
+type Signal = Future[struct{}]
+
+// NewSignal returns an unresolved signal.
+func NewSignal(k *Kernel, name string) *Signal { return NewFuture[struct{}](k, name) }

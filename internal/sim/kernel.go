@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kernel is a discrete-event simulation executive. It owns the virtual
+// clock and the event queue. A Kernel is not safe for concurrent use;
+// all simulated activity is serialized through Run.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// yield is the channel on which a running process hands control
+	// back to the kernel. Exactly one goroutine (the kernel or a single
+	// process) is ever active, so one shared channel suffices.
+	yield chan struct{}
+
+	procs    map[*Proc]struct{} // live (spawned, not finished) processes
+	procSeq  int
+	failure  error // first process panic, if any
+	rng      *rand.Rand
+	executed uint64
+}
+
+// New returns a kernel with its clock at zero and a deterministic RNG
+// seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is
+// an error in the model; it is clamped to the current time.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.events.push(&event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// treated as zero.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now.Add(d), fn)
+}
+
+// Run executes events until the queue is empty. It returns an error if a
+// process panicked, or if the queue drained while processes were still
+// parked (a deadlock in the simulated system).
+func (k *Kernel) Run() error { return k.RunUntil(Time(1<<63 - 1)) }
+
+// RunUntil executes events with time ≤ deadline. The clock stops at the
+// last executed event (it does not jump to the deadline).
+func (k *Kernel) RunUntil(deadline Time) error {
+	for len(k.events) > 0 {
+		if k.events[0].at > deadline {
+			return k.failure
+		}
+		e := k.events.pop()
+		k.now = e.at
+		k.executed++
+		e.fn()
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+	if n := len(k.procs); n > 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events: %s", n, k.parkedNames())
+	}
+	return nil
+}
+
+func (k *Kernel) parkedNames() string {
+	s := ""
+	i := 0
+	for p := range k.procs {
+		if i > 0 {
+			s += ", "
+		}
+		if i == 8 {
+			s += "…"
+			break
+		}
+		s += p.name
+		if p.waiting != "" {
+			s += " (waiting: " + p.waiting + ")"
+		}
+		i++
+	}
+	return s
+}

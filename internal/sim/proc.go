@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs simulated work and
+// blocks on simulated conditions (Sleep, Future.Await, Resource.Acquire).
+// At most one process runs at a time; control passes between the kernel
+// and the running process over unbuffered channels, so process code needs
+// no locking and observes a consistent virtual clock.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	done    bool
+	waiting string // human-readable blocking reason, for deadlock reports
+}
+
+// Go spawns a process executing fn. The process starts at the current
+// simulated time (via a zero-delay event). If fn panics, the panic is
+// captured and surfaced as an error from Kernel.Run.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	k.procSeq++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", k.procSeq)
+	}
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && k.failure == nil {
+				k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			delete(k.procs, p)
+			k.yield <- struct{}{}
+		}()
+		<-p.resume // wait for first dispatch
+		fn(p)
+	}()
+	k.After(0, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch resumes p and waits until it parks again or finishes. Must be
+// called from kernel context (inside an event callback).
+func (k *Kernel) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// park hands control back to the kernel and blocks until the next
+// dispatch. Must be called from within the process itself.
+func (p *Proc) park(reason string) {
+	p.waiting = reason
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.waiting = ""
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep suspends the process for d of simulated time. Zero and negative
+// durations yield the processor for one zero-delay event round, which
+// preserves FIFO fairness among runnable processes.
+func (p *Proc) Sleep(d Duration) {
+	p.k.After(d, func() { p.k.dispatch(p) })
+	p.park("sleep")
+}
+
+// Yield reschedules the process at the current time behind any already
+// pending events.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,83 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock by executing events in
+// (time, sequence) order. Simulated activities may be written either as
+// plain event callbacks or as blocking processes (Proc), each backed by a
+// goroutine that is resumed and parked under a strict one-runner
+// handshake, so execution is sequential and fully deterministic.
+package sim
+
+import "fmt"
+
+// Time is an absolute simulated time in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Micros returns the time as fractional microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Millis returns the time as fractional milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// Micros returns the duration as fractional microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis returns the duration as fractional milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+// Seconds returns the duration as fractional seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// FromMicros converts fractional microseconds to a Duration, rounding to
+// the nearest nanosecond.
+func FromMicros(us float64) Duration {
+	if us < 0 {
+		return Duration(us*1e3 - 0.5)
+	}
+	return Duration(us*1e3 + 0.5)
+}
+
+// String formats the duration with an adaptive unit (ns, µs, ms, s).
+func (d Duration) String() string {
+	switch {
+	case d < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < 10*Millisecond:
+		return fmt.Sprintf("%.2fµs", d.Micros())
+	case d < 10*Second:
+		return fmt.Sprintf("%.2fms", d.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// PerByte computes the serialization time of size bytes at rate
+// megabytesPerSec, rounding to the nearest nanosecond. A non-positive
+// rate yields zero (treated as an infinitely fast channel).
+func PerByte(size int64, megabytesPerSec float64) Duration {
+	if megabytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	ns := float64(size) * 1e3 / megabytesPerSec // bytes * ns/byte
+	return Duration(ns + 0.5)
+}

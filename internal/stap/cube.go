@@ -1,0 +1,99 @@
+package stap
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// Cube is a radar data cube of one coherent processing interval:
+// Ranges × Pulses × Channels complex samples, range-major. A Slice of it
+// (a contiguous band of range gates) lives on each node.
+type Cube struct {
+	Ranges, Pulses, Channels int
+	// Data[r][p][c]
+	Data [][][]Complex
+}
+
+// NewCube allocates a zeroed cube.
+func NewCube(ranges, pulses, channels int) *Cube {
+	d := make([][][]Complex, ranges)
+	for r := range d {
+		d[r] = make([][]Complex, pulses)
+		for p := range d[r] {
+			d[r][p] = make([]Complex, channels)
+		}
+	}
+	return &Cube{Ranges: ranges, Pulses: pulses, Channels: channels, Data: d}
+}
+
+// Target is a synthetic point target injected into a cube.
+type Target struct {
+	Range      int     // range gate
+	DopplerBin int     // Doppler bin (0..Pulses-1)
+	Amplitude  float64 // relative to unit noise
+}
+
+// Synthesize fills the cube with unit complex Gaussian noise plus the
+// given targets, each a tone across pulses at its Doppler frequency,
+// identical on all channels (boresight arrival). Deterministic in seed.
+func Synthesize(ranges, pulses, channels int, targets []Target, seed int64) *Cube {
+	rng := rand.New(rand.NewSource(seed))
+	cube := NewCube(ranges, pulses, channels)
+	for r := 0; r < ranges; r++ {
+		for p := 0; p < pulses; p++ {
+			for c := 0; c < channels; c++ {
+				cube.Data[r][p][c] = Complex{
+					float32(rng.NormFloat64() / math.Sqrt2),
+					float32(rng.NormFloat64() / math.Sqrt2),
+				}
+			}
+		}
+	}
+	for _, t := range targets {
+		for p := 0; p < pulses; p++ {
+			phase := 2 * math.Pi * float64(t.DopplerBin) * float64(p) / float64(pulses)
+			tone := Complex{
+				float32(t.Amplitude * math.Cos(phase)),
+				float32(t.Amplitude * math.Sin(phase)),
+			}
+			for c := 0; c < channels; c++ {
+				cube.Data[t.Range][p][c] = cube.Data[t.Range][p][c].Add(tone)
+			}
+		}
+	}
+	return cube
+}
+
+// RangeSlice returns the sub-cube of gates [lo, hi).
+func (c *Cube) RangeSlice(lo, hi int) *Cube {
+	return &Cube{
+		Ranges: hi - lo, Pulses: c.Pulses, Channels: c.Channels,
+		Data: c.Data[lo:hi],
+	}
+}
+
+// sampleBytes is the wire size of one complex sample.
+const sampleBytes = 8
+
+// EncodeSamples packs samples little-endian float32 pairs.
+func EncodeSamples(xs []Complex) []byte {
+	out := make([]byte, sampleBytes*len(xs))
+	for i, v := range xs {
+		binary.LittleEndian.PutUint32(out[8*i:], math.Float32bits(v.Re))
+		binary.LittleEndian.PutUint32(out[8*i+4:], math.Float32bits(v.Im))
+	}
+	return out
+}
+
+// DecodeSamples unpacks EncodeSamples output.
+func DecodeSamples(b []byte) []Complex {
+	out := make([]Complex, len(b)/sampleBytes)
+	for i := range out {
+		out[i] = Complex{
+			math.Float32frombits(binary.LittleEndian.Uint32(b[8*i:])),
+			math.Float32frombits(binary.LittleEndian.Uint32(b[8*i+4:])),
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package stap implements a miniature space-time adaptive processing
+// pipeline — the radar benchmark the paper's measurements came from
+// ("The MPI performance data are obtained from the STAP benchmark
+// experiments jointly performed at the USC and HKU", sponsored by MIT
+// Lincoln Laboratory). The pipeline really computes: Doppler FFTs,
+// an alltoall corner turn, adaptive beamforming weights via a reduced
+// covariance estimate, and cell-averaging CFAR detection; computation is
+// charged to the simulated nodes at their sustained MFLOP rates, so the
+// computation/communication trade-off the paper's expressions inform is
+// directly observable.
+package stap
+
+import "math"
+
+// Complex is the radar sample type (complex64-equivalent, kept explicit
+// for encoding).
+type Complex struct{ Re, Im float32 }
+
+// Add returns a + b.
+func (a Complex) Add(b Complex) Complex { return Complex{a.Re + b.Re, a.Im + b.Im} }
+
+// Sub returns a - b.
+func (a Complex) Sub(b Complex) Complex { return Complex{a.Re - b.Re, a.Im - b.Im} }
+
+// Mul returns a × b.
+func (a Complex) Mul(b Complex) Complex {
+	return Complex{a.Re*b.Re - a.Im*b.Im, a.Re*b.Im + a.Im*b.Re}
+}
+
+// Conj returns the complex conjugate.
+func (a Complex) Conj() Complex { return Complex{a.Re, -a.Im} }
+
+// Abs2 returns |a|².
+func (a Complex) Abs2() float64 { return float64(a.Re)*float64(a.Re) + float64(a.Im)*float64(a.Im) }
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x, whose
+// length must be a power of two.
+func FFT(x []Complex) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("stap: FFT length must be a power of two")
+	}
+	if n < 2 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wn := Complex{float32(math.Cos(ang)), float32(math.Sin(ang))}
+		for start := 0; start < n; start += size {
+			w := Complex{1, 0}
+			for k := 0; k < size/2; k++ {
+				a := x[start+k]
+				b := x[start+k+size/2].Mul(w)
+				x[start+k] = a.Add(b)
+				x[start+k+size/2] = a.Sub(b)
+				w = w.Mul(wn)
+			}
+		}
+	}
+}
+
+// IFFT computes the in-place inverse FFT (normalized by 1/n).
+func IFFT(x []Complex) {
+	for i := range x {
+		x[i] = x[i].Conj()
+	}
+	FFT(x)
+	inv := float32(1) / float32(len(x))
+	for i := range x {
+		x[i] = Complex{x[i].Re * inv, -x[i].Im * inv}
+	}
+}
+
+// FFTFlops returns the standard 5·n·log2(n) operation count used to
+// charge simulated compute time for an n-point complex FFT.
+func FFTFlops(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}

@@ -1,0 +1,123 @@
+package stap
+
+// Small complex linear algebra for the adaptive-beamforming stage: the
+// sample covariance matrix and a Gaussian-elimination solver, both over
+// the channel dimension (a handful of elements on these machines).
+
+// Matrix is a dense square complex matrix, row-major.
+type Matrix struct {
+	N int
+	A []Complex
+}
+
+// NewMatrix returns a zero n×n matrix.
+func NewMatrix(n int) *Matrix { return &Matrix{N: n, A: make([]Complex, n*n)} }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) Complex { return m.A[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v Complex) { m.A[i*m.N+j] = v }
+
+// AddOuter accumulates the outer product x·xᴴ into m.
+func (m *Matrix) AddOuter(x []Complex) {
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			m.A[i*m.N+j] = m.A[i*m.N+j].Add(x[i].Mul(x[j].Conj()))
+		}
+	}
+}
+
+// AddDiagonal adds v to every diagonal element (diagonal loading, the
+// standard STAP regularization).
+func (m *Matrix) AddDiagonal(v float32) {
+	for i := 0; i < m.N; i++ {
+		m.A[i*m.N+i] = m.A[i*m.N+i].Add(Complex{v, 0})
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.A {
+		m.A[i] = Complex{m.A[i].Re * s, m.A[i].Im * s}
+	}
+}
+
+// Solve returns x with m·x = b by Gaussian elimination with partial
+// pivoting. m and b are left unmodified. Panics on a singular system
+// (cannot happen with diagonal loading).
+func (m *Matrix) Solve(b []Complex) []Complex {
+	n := m.N
+	a := make([]Complex, len(m.A))
+	copy(a, m.A)
+	x := make([]Complex, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, best := col, a[col*n+col].Abs2()
+		for r := col + 1; r < n; r++ {
+			if v := a[r*n+col].Abs2(); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best == 0 {
+			panic("stap: singular covariance matrix")
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a[col*n+j], a[pivot*n+j] = a[pivot*n+j], a[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		// Eliminate below.
+		inv := cinv(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col].Mul(inv)
+			if f.Re == 0 && f.Im == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a[r*n+j] = a[r*n+j].Sub(f.Mul(a[col*n+j]))
+			}
+			x[r] = x[r].Sub(f.Mul(x[col]))
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		acc := x[row]
+		for j := row + 1; j < n; j++ {
+			acc = acc.Sub(a[row*n+j].Mul(x[j]))
+		}
+		x[row] = acc.Mul(cinv(a[row*n+row]))
+	}
+	return x
+}
+
+// cinv returns 1/z.
+func cinv(z Complex) Complex {
+	d := float32(z.Abs2())
+	return Complex{z.Re / d, -z.Im / d}
+}
+
+// MatVec returns m·x.
+func (m *Matrix) MatVec(x []Complex) []Complex {
+	out := make([]Complex, m.N)
+	for i := 0; i < m.N; i++ {
+		var acc Complex
+		for j := 0; j < m.N; j++ {
+			acc = acc.Add(m.A[i*m.N+j].Mul(x[j]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Dot returns aᴴ·b.
+func Dot(a, b []Complex) Complex {
+	var acc Complex
+	for i := range a {
+		acc = acc.Add(a[i].Conj().Mul(b[i]))
+	}
+	return acc
+}

@@ -1,0 +1,255 @@
+package stap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Params sizes one coherent processing interval.
+type Params struct {
+	Ranges   int // range gates; must divide by the node count
+	Pulses   int // pulses per CPI; power of two (Doppler FFT length)
+	Channels int // antenna channels
+	// CFARThreshold is the detection multiple over the local noise
+	// average (typical values 8–15).
+	CFARThreshold float64
+	// DiagonalLoad regularizes the covariance estimate.
+	DiagonalLoad float32
+}
+
+// DefaultParams returns a modest CPI sized like the paper-era testbeds.
+func DefaultParams() Params {
+	return Params{Ranges: 256, Pulses: 64, Channels: 8, CFARThreshold: 10, DiagonalLoad: 1}
+}
+
+// Detection is one CFAR hit.
+type Detection struct {
+	DopplerBin int
+	Range      int
+	SNR        float64 // power over local noise estimate
+}
+
+// StageTimes is the simulated per-stage breakdown on the slowest rank.
+type StageTimes struct {
+	Doppler    sim.Duration // local FFTs
+	CornerTurn sim.Duration // the alltoall
+	Weights    sim.Duration // covariance estimate + allreduce + solve
+	Beamform   sim.Duration // local apply
+	CFAR       sim.Duration // detection + gather
+	Total      sim.Duration
+
+	// Communication sub-portions of the mixed stages.
+	WeightsComm sim.Duration // the covariance allreduce
+	CFARComm    sim.Duration // the detection gather
+}
+
+// CommTime returns the pure communication portion of the breakdown: the
+// corner-turn alltoall, the covariance allreduce, and the detection
+// gather.
+func (s StageTimes) CommTime() sim.Duration { return s.CornerTurn + s.WeightsComm + s.CFARComm }
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	Detections []Detection
+	Times      StageTimes
+}
+
+// Run executes the pipeline on p nodes of mach over a synthesized cube
+// containing the given targets. It returns the detections (collected at
+// rank 0) and the per-stage timing of the slowest rank.
+func Run(mach *machine.Machine, p int, prm Params, targets []Target, seed int64) (*Result, error) {
+	if prm.Ranges%p != 0 || prm.Pulses%p != 0 {
+		return nil, fmt.Errorf("stap: ranges (%d) and pulses (%d) must divide by p=%d",
+			prm.Ranges, prm.Pulses, p)
+	}
+	cube := Synthesize(prm.Ranges, prm.Pulses, prm.Channels, targets, seed)
+
+	res := &Result{}
+	perRank := make([]StageTimes, p)
+	err := mpi.Run(mach, p, seed, func(c *mpi.Comm) {
+		t := runRank(c, mach, prm, cube, res)
+		perRank[c.Rank()] = t
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range perRank {
+		if t.Total > res.Times.Total {
+			res.Times = t
+		}
+	}
+	sort.Slice(res.Detections, func(i, j int) bool {
+		if res.Detections[i].DopplerBin != res.Detections[j].DopplerBin {
+			return res.Detections[i].DopplerBin < res.Detections[j].DopplerBin
+		}
+		return res.Detections[i].Range < res.Detections[j].Range
+	})
+	return res, nil
+}
+
+func runRank(c *mpi.Comm, mach *machine.Machine, prm Params, cube *Cube, res *Result) StageTimes {
+	var t StageTimes
+	p := c.Size()
+	rank := c.Rank()
+	gatesPer := prm.Ranges / p
+	binsPer := prm.Pulses / p
+	start := c.Proc().Now()
+
+	// My slice of the cube (each node reads its own gates, as if from
+	// the sensor fan-out).
+	local := cube.RangeSlice(rank*gatesPer, (rank+1)*gatesPer)
+
+	// --- Stage 1: Doppler filtering -----------------------------------
+	// FFT across pulses for every (gate, channel).
+	mark := c.Proc().Now()
+	doppler := NewCube(gatesPer, prm.Pulses, prm.Channels)
+	for g := 0; g < gatesPer; g++ {
+		for ch := 0; ch < prm.Channels; ch++ {
+			line := make([]Complex, prm.Pulses)
+			for pu := 0; pu < prm.Pulses; pu++ {
+				line[pu] = local.Data[g][pu][ch]
+			}
+			FFT(line)
+			for pu := 0; pu < prm.Pulses; pu++ {
+				doppler.Data[g][pu][ch] = line[pu]
+			}
+		}
+	}
+	c.Compute(mach.ComputeTime(float64(gatesPer*prm.Channels) * FFTFlops(prm.Pulses)))
+	t.Doppler = c.Proc().Now().Sub(mark)
+
+	// --- Stage 2: corner turn ------------------------------------------
+	// Redistribute from range-major to Doppler-major: node j gets my
+	// gates for its band of Doppler bins.
+	mark = c.Proc().Now()
+	blocks := make([][]byte, p)
+	for j := 0; j < p; j++ {
+		samples := make([]Complex, 0, gatesPer*binsPer*prm.Channels)
+		for g := 0; g < gatesPer; g++ {
+			for b := j * binsPer; b < (j+1)*binsPer; b++ {
+				samples = append(samples, doppler.Data[g][b]...)
+			}
+		}
+		blocks[j] = EncodeSamples(samples)
+	}
+	recv := c.Alltoall(blocks)
+	// turned[b][r][ch] for my bins b (bin index relative to my band).
+	turned := NewCube(binsPer, prm.Ranges, prm.Channels)
+	for src := 0; src < p; src++ {
+		samples := DecodeSamples(recv[src])
+		i := 0
+		for g := 0; g < gatesPer; g++ {
+			globalRange := src*gatesPer + g
+			for b := 0; b < binsPer; b++ {
+				copy(turned.Data[b][globalRange], samples[i:i+prm.Channels])
+				i += prm.Channels
+			}
+		}
+	}
+	t.CornerTurn = c.Proc().Now().Sub(mark)
+
+	// --- Stage 3: adaptive weights --------------------------------------
+	// Sample covariance over my portion, summed across nodes, then solve
+	// M·w = s for the boresight steering vector s = 1.
+	mark = c.Proc().Now()
+	cov := NewMatrix(prm.Channels)
+	for b := 0; b < binsPer; b++ {
+		for r := 0; r < prm.Ranges; r++ {
+			cov.AddOuter(turned.Data[b][r])
+		}
+	}
+	c.Compute(mach.ComputeTime(8 * float64(binsPer*prm.Ranges) * float64(prm.Channels*prm.Channels)))
+	commMark := c.Proc().Now()
+	covSum := mpi.DecodeFloats(c.Allreduce(mpi.EncodeFloats(matToFloats(cov)), mpi.Sum, mpi.Float))
+	t.WeightsComm = c.Proc().Now().Sub(commMark)
+	total := floatsToMat(covSum, prm.Channels)
+	total.Scale(1 / float32(prm.Ranges*prm.Pulses))
+	total.AddDiagonal(prm.DiagonalLoad)
+	steer := make([]Complex, prm.Channels)
+	for i := range steer {
+		steer[i] = Complex{1, 0}
+	}
+	w := total.Solve(steer)
+	c.Compute(mach.ComputeTime(8 * float64(prm.Channels*prm.Channels*prm.Channels)))
+	t.Weights = c.Proc().Now().Sub(mark)
+
+	// --- Stage 4: beamforming -------------------------------------------
+	mark = c.Proc().Now()
+	power := make([][]float64, binsPer)
+	for b := 0; b < binsPer; b++ {
+		power[b] = make([]float64, prm.Ranges)
+		for r := 0; r < prm.Ranges; r++ {
+			power[b][r] = Dot(w, turned.Data[b][r]).Abs2()
+		}
+	}
+	c.Compute(mach.ComputeTime(8 * float64(binsPer*prm.Ranges) * float64(prm.Channels)))
+	t.Beamform = c.Proc().Now().Sub(mark)
+
+	// --- Stage 5: CFAR detection + gather -------------------------------
+	mark = c.Proc().Now()
+	var local32 []int32
+	for b := 0; b < binsPer; b++ {
+		noise := meanExcludingPeak(power[b])
+		for r := 0; r < prm.Ranges; r++ {
+			if noise > 0 && power[b][r] > prm.CFARThreshold*noise {
+				snr := power[b][r] / noise
+				local32 = append(local32, int32(rank*binsPer+b), int32(r), int32(snr))
+			}
+		}
+	}
+	c.Compute(mach.ComputeTime(2 * float64(binsPer*prm.Ranges)))
+	commMark = c.Proc().Now()
+	all := c.Gatherv(0, mpi.EncodeInts(local32))
+	if c.Rank() == 0 {
+		for _, raw := range all {
+			v := mpi.DecodeInts(raw)
+			for i := 0; i+2 < len(v); i += 3 {
+				res.Detections = append(res.Detections, Detection{
+					DopplerBin: int(v[i]), Range: int(v[i+1]), SNR: float64(v[i+2]),
+				})
+			}
+		}
+	}
+	t.CFARComm = c.Proc().Now().Sub(commMark)
+	t.CFAR = c.Proc().Now().Sub(mark)
+	t.Total = c.Proc().Now().Sub(start)
+	return t
+}
+
+// meanExcludingPeak estimates the noise floor of one Doppler bin's range
+// profile: the mean power with the strongest cell removed (a simplified
+// cell-averaging CFAR reference window).
+func meanExcludingPeak(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum, max float64
+	for _, v := range xs {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return (sum - max) / float64(len(xs)-1)
+}
+
+// matToFloats flattens a complex matrix into float32 pairs for the wire.
+func matToFloats(m *Matrix) []float32 {
+	out := make([]float32, 0, 2*len(m.A))
+	for _, v := range m.A {
+		out = append(out, v.Re, v.Im)
+	}
+	return out
+}
+
+func floatsToMat(f []float32, n int) *Matrix {
+	m := NewMatrix(n)
+	for i := range m.A {
+		m.A[i] = Complex{f[2*i], f[2*i+1]}
+	}
+	return m
+}

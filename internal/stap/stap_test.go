@@ -1,0 +1,251 @@
+package stap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		x := make([]Complex, n)
+		for i := range x {
+			x[i] = Complex{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+		}
+		want := dft(x)
+		got := append([]Complex(nil), x...)
+		FFT(got)
+		for k := range want {
+			if d := math.Hypot(float64(got[k].Re-want[k].Re), float64(got[k].Im-want[k].Im)); d > 1e-3 {
+				t.Fatalf("n=%d bin %d: fft %v, dft %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func dft(x []Complex) []Complex {
+	n := len(x)
+	out := make([]Complex, n)
+	for k := 0; k < n; k++ {
+		var accRe, accIm float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			accRe += float64(x[j].Re)*c - float64(x[j].Im)*s
+			accIm += float64(x[j].Re)*s + float64(x[j].Im)*c
+		}
+		out[k] = Complex{float32(accRe), float32(accIm)}
+	}
+	return out
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]Complex, 64)
+	for i := range x {
+		x[i] = Complex{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+	}
+	y := append([]Complex(nil), x...)
+	FFT(y)
+	IFFT(y)
+	for i := range x {
+		if d := math.Hypot(float64(y[i].Re-x[i].Re), float64(y[i].Im-x[i].Im)); d > 1e-4 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestFFTToneLandsInBin(t *testing.T) {
+	const n, bin = 64, 12
+	x := make([]Complex, n)
+	for p := 0; p < n; p++ {
+		ang := 2 * math.Pi * bin * float64(p) / n
+		x[p] = Complex{float32(math.Cos(ang)), float32(math.Sin(ang))}
+	}
+	FFT(x)
+	for k := range x {
+		mag := x[k].Abs2()
+		if k == bin && mag < float64(n*n)*0.9 {
+			t.Fatalf("tone bin magnitude %v", mag)
+		}
+		if k != bin && mag > 1e-3 {
+			t.Fatalf("leakage into bin %d: %v", k, mag)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]Complex, 12))
+}
+
+func TestEncodeDecodeSamples(t *testing.T) {
+	xs := []Complex{{1, -2}, {0.5, 3.25}, {0, 0}}
+	got := DecodeSamples(EncodeSamples(xs))
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], xs[i])
+		}
+	}
+}
+
+func TestSolveAgainstKnownSystem(t *testing.T) {
+	// Solve a Hermitian positive-definite system and verify M·x = b.
+	rng := rand.New(rand.NewSource(3))
+	n := 6
+	m := NewMatrix(n)
+	// Build M = A·Aᴴ + I (guaranteed nonsingular).
+	a := NewMatrix(n)
+	for i := range a.A {
+		a.A[i] = Complex{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc Complex
+			for k := 0; k < n; k++ {
+				acc = acc.Add(a.At(i, k).Mul(a.At(j, k).Conj()))
+			}
+			m.Set(i, j, acc)
+		}
+	}
+	m.AddDiagonal(1)
+	b := make([]Complex, n)
+	for i := range b {
+		b[i] = Complex{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+	}
+	x := m.Solve(b)
+	back := m.MatVec(x)
+	for i := range b {
+		if d := math.Hypot(float64(back[i].Re-b[i].Re), float64(back[i].Im-b[i].Im)); d > 1e-3 {
+			t.Fatalf("residual %v at %d", d, i)
+		}
+	}
+}
+
+func TestSolvePivoting(t *testing.T) {
+	// Zero leading diagonal forces a pivot swap.
+	m := NewMatrix(2)
+	m.Set(0, 0, Complex{0, 0})
+	m.Set(0, 1, Complex{1, 0})
+	m.Set(1, 0, Complex{1, 0})
+	m.Set(1, 1, Complex{0, 0})
+	x := m.Solve([]Complex{{2, 0}, {3, 0}})
+	if x[0].Re != 3 || x[1].Re != 2 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(16, 8, 4, nil, 7)
+	b := Synthesize(16, 8, 4, nil, 7)
+	if a.Data[3][2][1] != b.Data[3][2][1] {
+		t.Fatal("same seed, different cubes")
+	}
+	c := Synthesize(16, 8, 4, nil, 8)
+	if a.Data[3][2][1] == c.Data[3][2][1] {
+		t.Fatal("different seeds produced identical samples (suspicious)")
+	}
+}
+
+func TestPipelineDetectsInjectedTargets(t *testing.T) {
+	prm := Params{Ranges: 128, Pulses: 32, Channels: 4, CFARThreshold: 12, DiagonalLoad: 1}
+	targets := []Target{
+		{Range: 37, DopplerBin: 5, Amplitude: 12},
+		{Range: 90, DopplerBin: 20, Amplitude: 12},
+	}
+	res, err := Run(machine.T3D(), 8, prm, targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]int]bool{}
+	for _, d := range res.Detections {
+		found[[2]int{d.DopplerBin, d.Range}] = true
+	}
+	for _, tgt := range targets {
+		if !found[[2]int{tgt.DopplerBin, tgt.Range}] {
+			t.Errorf("target at bin %d gate %d not detected (got %v)",
+				tgt.DopplerBin, tgt.Range, res.Detections)
+		}
+	}
+	// Strong targets over unit noise: no more than a few false alarms.
+	if len(res.Detections) > 8 {
+		t.Errorf("%d detections for 2 targets — CFAR threshold too low", len(res.Detections))
+	}
+}
+
+func TestPipelineNoTargetsFewFalseAlarms(t *testing.T) {
+	prm := Params{Ranges: 128, Pulses: 32, Channels: 4, CFARThreshold: 14, DiagonalLoad: 1}
+	res, err := Run(machine.SP2(), 4, prm, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) > 4 {
+		t.Fatalf("%d false alarms in pure noise", len(res.Detections))
+	}
+}
+
+func TestPipelineTimesPopulated(t *testing.T) {
+	prm := Params{Ranges: 64, Pulses: 16, Channels: 4, CFARThreshold: 10, DiagonalLoad: 1}
+	res, err := Run(machine.Paragon(), 4, prm, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Times
+	for name, v := range map[string]int64{
+		"doppler": int64(ts.Doppler), "corner": int64(ts.CornerTurn),
+		"weights": int64(ts.Weights), "beamform": int64(ts.Beamform),
+		"cfar": int64(ts.CFAR), "total": int64(ts.Total),
+	} {
+		if v <= 0 {
+			t.Errorf("stage %s has nonpositive time", name)
+		}
+	}
+	sum := ts.Doppler + ts.CornerTurn + ts.Weights + ts.Beamform + ts.CFAR
+	if sum > ts.Total {
+		t.Errorf("stage sum %v exceeds total %v", sum, ts.Total)
+	}
+	if ts.CommTime() >= ts.Total {
+		t.Errorf("comm time %v not below total %v", ts.CommTime(), ts.Total)
+	}
+}
+
+func TestPipelineMachineOrdering(t *testing.T) {
+	// The corner turn is a total exchange: the T3D must spend less time
+	// in it than the Paragon at the same configuration.
+	prm := Params{Ranges: 128, Pulses: 32, Channels: 8, CFARThreshold: 10, DiagonalLoad: 1}
+	t3d, err := Run(machine.T3D(), 8, prm, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(machine.Paragon(), 8, prm, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3d.Times.CornerTurn >= par.Times.CornerTurn {
+		t.Fatalf("corner turn: T3D %v should beat Paragon %v",
+			t3d.Times.CornerTurn, par.Times.CornerTurn)
+	}
+}
+
+func TestPipelineRejectsIndivisibleSizes(t *testing.T) {
+	prm := Params{Ranges: 100, Pulses: 32, Channels: 4, CFARThreshold: 10}
+	if _, err := Run(machine.T3D(), 8, prm, nil, 1); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestMeanExcludingPeak(t *testing.T) {
+	if got := meanExcludingPeak([]float64{1, 1, 1, 9}); got != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if got := meanExcludingPeak([]float64{5}); got != 0 {
+		t.Fatalf("single cell should yield 0, got %v", got)
+	}
+}

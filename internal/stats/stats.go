@@ -1,0 +1,95 @@
+// Package stats provides the summary statistics the measurement harness
+// reports: the paper collects "the minimal time, the maximal time, and
+// the mean time from all processes" (§2) and we additionally expose
+// dispersion and percentiles for the repeated-execution analysis.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Std            float64 // population standard deviation
+}
+
+// Summarize computes a Summary. An empty sample returns the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// Percentile returns the q-th percentile (0 ≤ q ≤ 100) using linear
+// interpolation between order statistics. Panics on an empty sample.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CoefficientOfVariation returns Std/Mean, or 0 for a zero mean — the
+// run-to-run stability measure used in EXPERIMENTS.md.
+func CoefficientOfVariation(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// GeoMean returns the geometric mean of strictly positive values; it is
+// the right average for paper-vs-measured ratios.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean needs positive values")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 || s.Mean != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.Std != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5, 150: 5, -5: 1}
+	for q, want := range cases {
+		if got := Percentile(xs, q); got != want {
+			t.Errorf("P%v = %v, want %v", q, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 25); got != 2.5 {
+		t.Errorf("P25 of {0,10} = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{5, 1, 9}) != 5 {
+		t.Fatal("median wrong")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{10, 10, 10}); cv != 0 {
+		t.Fatalf("constant sample cv = %v", cv)
+	}
+	if cv := CoefficientOfVariation([]float64{0, 0}); cv != 0 {
+		t.Fatalf("zero-mean cv = %v", cv)
+	}
+	cv := CoefficientOfVariation([]float64{9, 11})
+	if math.Abs(cv-0.1) > 1e-12 {
+		t.Fatalf("cv = %v, want 0.1", cv)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	// Ratio symmetry: geomean of x and 1/x is 1.
+	if g := GeoMean([]float64{0.5, 2}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geomean = %v, want 1", g)
+	}
+}
+
+func TestPropertyMinLEMeanLEMax(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	prop := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		qa, qb := float64(a%101), float64(b%101)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Percentile(xs, qa) <= Percentile(xs, qb)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package trace records and analyzes communication activity of a
+// simulated run: every network transfer with its queueing and transit
+// times, per-node traffic totals, and hot-pair detection. The paper
+// reasons about these quantities indirectly (startup latency vs
+// transmission delay); the trace makes them directly inspectable, which
+// is how the machine models in this repository were debugged.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Recorder collects transfer events from a network.
+type Recorder struct {
+	events []network.TransferEvent
+}
+
+// Attach installs the recorder on a network and returns it.
+func Attach(n *network.Network) *Recorder {
+	r := &Recorder{}
+	n.SetObserver(r.record)
+	return r
+}
+
+func (r *Recorder) record(e network.TransferEvent) { r.events = append(r.events, e) }
+
+// Events returns the recorded transfers in occurrence order.
+func (r *Recorder) Events() []network.TransferEvent { return r.events }
+
+// Len returns the number of recorded transfers.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Summary aggregates a recording.
+type Summary struct {
+	Transfers  int
+	Bytes      int64
+	QueueTime  sim.Duration // total time spent waiting for the path
+	WireTime   sim.Duration // total start→arrive time
+	MaxQueue   sim.Duration
+	FirstStart sim.Time
+	LastArrive sim.Time
+}
+
+// Summarize computes aggregate statistics of the recording.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	s.Transfers = len(r.events)
+	for i, e := range r.events {
+		s.Bytes += int64(e.Size)
+		q := e.Start.Sub(e.Ready)
+		s.QueueTime += q
+		if q > s.MaxQueue {
+			s.MaxQueue = q
+		}
+		s.WireTime += e.Arrive.Sub(e.Start)
+		if i == 0 || e.Start < s.FirstStart {
+			s.FirstStart = e.Start
+		}
+		if e.Arrive > s.LastArrive {
+			s.LastArrive = e.Arrive
+		}
+	}
+	return s
+}
+
+// PairTraffic is the aggregate traffic between one ordered node pair.
+type PairTraffic struct {
+	Src, Dst  int
+	Transfers int
+	Bytes     int64
+}
+
+// HotPairs returns the ordered node pairs by descending byte volume,
+// at most n entries.
+func (r *Recorder) HotPairs(n int) []PairTraffic {
+	agg := map[[2]int]*PairTraffic{}
+	for _, e := range r.events {
+		k := [2]int{e.Src, e.Dst}
+		pt, ok := agg[k]
+		if !ok {
+			pt = &PairTraffic{Src: e.Src, Dst: e.Dst}
+			agg[k] = pt
+		}
+		pt.Transfers++
+		pt.Bytes += int64(e.Size)
+	}
+	out := make([]PairTraffic, 0, len(agg))
+	for _, pt := range agg {
+		out = append(out, *pt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// NodeLoad returns per-node sent and received byte totals, indexed by
+// node ID (length = max node ID + 1).
+func (r *Recorder) NodeLoad() (sent, received []int64) {
+	max := -1
+	for _, e := range r.events {
+		if e.Src > max {
+			max = e.Src
+		}
+		if e.Dst > max {
+			max = e.Dst
+		}
+	}
+	sent = make([]int64, max+1)
+	received = make([]int64, max+1)
+	for _, e := range r.events {
+		sent[e.Src] += int64(e.Size)
+		received[e.Dst] += int64(e.Size)
+	}
+	return sent, received
+}
+
+// WriteReport renders a human-readable trace summary.
+func (r *Recorder) WriteReport(w io.Writer, topPairs int) {
+	s := r.Summarize()
+	fmt.Fprintf(w, "transfers: %d  bytes: %d\n", s.Transfers, s.Bytes)
+	fmt.Fprintf(w, "span: %v → %v\n", s.FirstStart, s.LastArrive)
+	fmt.Fprintf(w, "queueing: total %v, max %v\n", s.QueueTime, s.MaxQueue)
+	if topPairs > 0 {
+		fmt.Fprintln(w, "hottest pairs:")
+		for _, pt := range r.HotPairs(topPairs) {
+			fmt.Fprintf(w, "  %3d → %-3d  %8d bytes in %d transfers\n",
+				pt.Src, pt.Dst, pt.Bytes, pt.Transfers)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// runTraced runs an 8-node T3D broadcast with a recorder attached.
+func runTraced(t *testing.T, body func(c *mpi.Comm)) *Recorder {
+	t.Helper()
+	cl := machine.NewCluster(machine.T3D(), 8, 1)
+	rec := Attach(cl.Net())
+	if err := mpi.RunCluster(cl, body); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func bcastBody(c *mpi.Comm) {
+	var msg []byte
+	if c.Rank() == 0 {
+		msg = make([]byte, 4096)
+	}
+	c.Bcast(0, msg)
+}
+
+func TestRecorderCapturesBinomialTreeTransfers(t *testing.T) {
+	rec := runTraced(t, bcastBody)
+	// A binomial broadcast over p nodes sends exactly p-1 messages.
+	if rec.Len() != 7 {
+		t.Fatalf("recorded %d transfers, want 7", rec.Len())
+	}
+	for _, e := range rec.Events() {
+		if e.Size != 4096 {
+			t.Fatalf("transfer size %d", e.Size)
+		}
+		if e.Arrive <= e.Start || e.Start < e.Ready {
+			t.Fatalf("inconsistent event times: %+v", e)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rec := runTraced(t, bcastBody)
+	s := rec.Summarize()
+	if s.Transfers != 7 || s.Bytes != 7*4096 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.LastArrive <= s.FirstStart {
+		t.Fatalf("span inverted: %+v", s)
+	}
+}
+
+func TestNodeLoadBroadcastRootSendsMost(t *testing.T) {
+	rec := runTraced(t, bcastBody)
+	sent, recv := rec.NodeLoad()
+	// Root of a binomial tree over 8 nodes sends 3 messages.
+	if sent[0] != 3*4096 {
+		t.Fatalf("root sent %d bytes, want %d", sent[0], 3*4096)
+	}
+	if recv[0] != 0 {
+		t.Fatalf("root received %d bytes", recv[0])
+	}
+	var totalRecv int64
+	for _, v := range recv {
+		totalRecv += v
+	}
+	if totalRecv != 7*4096 {
+		t.Fatalf("total received %d", totalRecv)
+	}
+}
+
+func TestHotPairsAlltoallUniform(t *testing.T) {
+	rec := runTraced(t, func(c *mpi.Comm) {
+		blocks := make([][]byte, c.Size())
+		for i := range blocks {
+			blocks[i] = make([]byte, 512)
+		}
+		c.Alltoall(blocks)
+	})
+	pairs := rec.HotPairs(0)
+	if len(pairs) != 8*7 {
+		t.Fatalf("%d pairs, want 56", len(pairs))
+	}
+	for _, pt := range pairs {
+		if pt.Bytes != 512 || pt.Transfers != 1 {
+			t.Fatalf("non-uniform traffic: %+v", pt)
+		}
+	}
+	top := rec.HotPairs(5)
+	if len(top) != 5 {
+		t.Fatalf("top-5 returned %d", len(top))
+	}
+}
+
+func TestQueueTimeNonzeroUnderContention(t *testing.T) {
+	// A 16-node gather funnels into the root: later messages must queue.
+	cl := machine.NewCluster(machine.SP2(), 16, 1)
+	rec := Attach(cl.Net())
+	if err := mpi.RunCluster(cl, func(c *mpi.Comm) {
+		c.Gather(0, make([]byte, 8192))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := rec.Summarize(); s.QueueTime == 0 {
+		t.Fatal("gather funnel produced no queueing")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	rec := runTraced(t, bcastBody)
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	rec := runTraced(t, bcastBody)
+	var b strings.Builder
+	rec.WriteReport(&b, 3)
+	out := b.String()
+	for _, want := range []string{"transfers: 7", "hottest pairs:", "→"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
