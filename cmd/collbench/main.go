@@ -1,10 +1,13 @@
 // Command collbench measures one MPI collective on one simulated
 // machine, following the paper's benchmark procedure, and prints the
-// measured time next to the paper's Table 3 prediction.
+// measured time next to the paper's Table 3 prediction. The measurement
+// runs through the sweep engine, so -alg selects a registry algorithm
+// variant and -cache reuses content-keyed results across invocations.
 //
 // Usage:
 //
 //	collbench -machine T3D -op alltoall -p 64 -m 512
+//	collbench -machine T3D -op alltoall -p 64 -alg bruck
 //	collbench -machine SP2 -op barrier -p 32 -paper
 package main
 
@@ -17,6 +20,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -24,12 +28,14 @@ func main() {
 	var (
 		machName = flag.String("machine", "T3D", "SP2, T3D, or Paragon")
 		opName   = flag.String("op", "alltoall", "barrier, broadcast, gather, scatter, reduce, scan, alltoall, allgather, allreduce")
+		algName  = flag.String("alg", sweep.DefaultAlgorithm, "collective algorithm variant (\"default\" = the vendor table)")
 		p        = flag.Int("p", 64, "machine size (nodes)")
 		m        = flag.Int("m", 1024, "message length per node pair (bytes)")
 		k        = flag.Int("k", 20, "timed iterations per execution")
 		reps     = flag.Int("reps", 5, "independent executions")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		paperCfg = flag.Bool("paper", false, "use the paper's full procedure (equivalent to -k 20 -reps 5)")
+		cacheDir = flag.String("cache", "", "directory for content-keyed result cache")
 		traceRun = flag.Bool("trace", false, "run one extra instance with network tracing and print the transfer report")
 	)
 	flag.Parse()
@@ -49,9 +55,33 @@ func main() {
 		msg = 0
 	}
 
-	s := measure.MeasureOp(mach, op, *p, msg, cfg)
-	fmt.Printf("%s %s  p=%d  m=%d bytes  (k=%d, %d reps)\n",
-		s.Machine, s.Op, s.P, s.M, cfg.K, cfg.Reps)
+	spec := sweep.Spec{
+		Machines:   []string{mach.Name()},
+		Ops:        []machine.Op{op},
+		Algorithms: map[machine.Op][]string{op: {*algName}},
+		Sizes:      []int{*p},
+		Lengths:    []int{msg},
+		Config:     cfg,
+	}
+	scns, err := spec.Expand()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collbench:", err)
+		os.Exit(2)
+	}
+	if len(scns) == 0 {
+		fmt.Fprintf(os.Stderr, "collbench: p=%d exceeds the %s allocation (max %d)\n",
+			*p, mach.Name(), mach.MaxNodes())
+		os.Exit(2)
+	}
+	cache, err := sweep.OpenCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collbench:", err)
+		os.Exit(1)
+	}
+	results := (&sweep.Runner{Cache: cache}).Run(scns)
+	s := results[0].Sample
+	fmt.Printf("%s %s[%s]  p=%d  m=%d bytes  (k=%d, %d reps)\n",
+		s.Machine, s.Op, results[0].Scenario.Algorithm, s.P, s.M, cfg.K, cfg.Reps)
 	fmt.Printf("  measured: %.1f µs  (min %.1f, max %.1f across executions)\n",
 		s.Micros, s.MinMicros, s.MaxMicros)
 
@@ -67,7 +97,11 @@ func main() {
 		fmt.Println("\ntrace of one instance:")
 		cl := machine.NewCluster(mach, *p, *seed)
 		rec := trace.Attach(cl.Net())
-		if err := mpi.RunCluster(cl, func(c *mpi.Comm) { traceBody(c, op, msg) }); err != nil {
+		algs := mpi.DefaultAlgorithms(mach)
+		if alg := results[0].Scenario.Algorithm; alg != sweep.DefaultAlgorithm {
+			algs = algs.With(op, alg)
+		}
+		if err := mpi.RunWithAlgorithms(cl, algs, func(c *mpi.Comm) { traceBody(c, op, msg) }); err != nil {
 			fmt.Fprintln(os.Stderr, "collbench: trace run:", err)
 			os.Exit(1)
 		}

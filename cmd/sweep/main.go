@@ -1,0 +1,188 @@
+// Command sweep runs a user-defined scenario grid — machines ×
+// operations × algorithm variants × machine sizes × message lengths —
+// through the sharded sweep engine and emits markdown and CSV reports.
+//
+// The default grid covers all three machines, the paper's seven
+// operations, every registered algorithm variant, the paper's
+// factor-of-four message lengths, and two machine sizes: several
+// hundred scenarios, sharded across all CPU cores. A content-keyed
+// cache makes repeated runs near-instant and survives preset edits
+// (stale entries simply stop matching).
+//
+// Usage:
+//
+//	sweep                                    # default grid, report to stdout
+//	sweep -cache .sweepcache                 # warm runs are near-instant
+//	sweep -machines SP2,T3D -ops alltoall -algs all -p 8,32,64
+//	sweep -algs default -p 2,4,8,16,32,64,128 -out grid.md -csv grid.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		machines = flag.String("machines", "", "comma-separated machine presets (default: all)")
+		ops      = flag.String("ops", "", "comma-separated operations (default: the paper's seven)")
+		algs     = flag.String("algs", "all", `algorithm variants: "all", "default", or a comma-separated list`)
+		sizesF   = flag.String("p", "8,32", "comma-separated machine sizes")
+		lengthsF = flag.String("m", "", "comma-separated message lengths in bytes (default: the paper's sweep)")
+		workers  = flag.Int("workers", 0, "worker shards (0 = all cores)")
+		cacheDir = flag.String("cache", "", "directory for the content-keyed result cache")
+		outPath  = flag.String("out", "-", `markdown report path ("-" = stdout)`)
+		csvPath  = flag.String("csv", "", "also write per-scenario CSV here")
+		seed     = flag.Int64("seed", 1, "base simulation seed")
+		derive   = flag.Bool("derive-seeds", false, "give every scenario its own deterministic seed")
+		paperCfg = flag.Bool("paper", false, "paper-faithful methodology (warm-up 2, k=20, 5 reps; slow)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := measure.Fast()
+	if *paperCfg {
+		cfg = measure.Paper()
+	}
+	cfg.Seed = *seed
+
+	spec := sweep.Spec{
+		Machines:    splitList(*machines),
+		Ops:         parseOps(*ops),
+		Sizes:       parseInts(*sizesF, "p"),
+		Lengths:     parseInts(*lengthsF, "m"),
+		Config:      cfg,
+		DeriveSeeds: *derive,
+	}
+	specOps := spec.Ops
+	if len(specOps) == 0 {
+		specOps = machine.Ops
+	}
+	switch *algs {
+	case "default":
+	case "all", "":
+		spec.Algorithms = sweep.AllAlgorithms(specOps)
+	default:
+		spec.Algorithms = map[machine.Op][]string{}
+		for _, op := range specOps {
+			spec.Algorithms[op] = splitList(*algs)
+		}
+	}
+
+	scns, err := spec.Expand()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // already "sweep:"-prefixed
+		os.Exit(2)
+	}
+	if len(scns) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: the spec expands to zero scenarios")
+		os.Exit(2)
+	}
+	cache, err := sweep.OpenCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	runner := &sweep.Runner{Workers: *workers, Cache: cache}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios\n", len(scns))
+		step := len(scns) / 20
+		if step < 1 {
+			step = 1
+		}
+		runner.OnProgress = func(p sweep.Progress) {
+			if p.Done%step == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "  %d/%d (%d%%) %s\n",
+					p.Done, p.Total, 100*p.Done/p.Total, time.Since(start).Round(time.Second))
+			}
+		}
+	}
+	results := runner.Run(scns)
+	cached := 0
+	for _, r := range results {
+		if r.Cached {
+			cached++
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios (%d cached) in %s\n",
+			len(results), cached, time.Since(start).Round(time.Millisecond))
+	}
+
+	title := fmt.Sprintf("Scenario sweep — %d scenarios", len(results))
+	if *outPath == "-" {
+		err = sweep.WriteMarkdown(os.Stdout, title, results)
+	} else {
+		err = writeFile(*outPath, func(f *os.File) error {
+			return sweep.WriteMarkdown(f, title, results)
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(f *os.File) error {
+			return sweep.WriteCSV(f, results)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseOps(s string) []machine.Op {
+	var out []machine.Op
+	for _, name := range splitList(s) {
+		out = append(out, machine.Op(name))
+	}
+	return out
+}
+
+func parseInts(s, what string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad -%s value %q\n", what, part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

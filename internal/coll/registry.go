@@ -111,3 +111,61 @@ func Names[V any](reg map[string]V) []string {
 	sort.Strings(out)
 	return out
 }
+
+// Operation names as the harnesses spell them (machine.Op values are the
+// same strings; coll cannot import machine without a cycle).
+const (
+	OpBarrier   = "barrier"
+	OpBroadcast = "broadcast"
+	OpGather    = "gather"
+	OpScatter   = "scatter"
+	OpAlltoall  = "alltoall"
+	OpReduce    = "reduce"
+	OpScan      = "scan"
+	OpAllgather = "allgather"
+	OpAllreduce = "allreduce"
+)
+
+// RegisteredOps returns the operation names that have an algorithm
+// registry, sorted.
+func RegisteredOps() []string {
+	return []string{OpAllgather, OpAllreduce, OpAlltoall, OpBarrier,
+		OpBroadcast, OpGather, OpReduce, OpScan, OpScatter}
+}
+
+// Algorithms returns the sorted algorithm names registered for op, or
+// nil for an unknown operation. The T3D's hardware barrier is not
+// listed: it needs machine support and is bound by the mpi layer.
+func Algorithms(op string) []string {
+	switch op {
+	case OpBarrier:
+		return Names(Barriers)
+	case OpBroadcast:
+		return Names(Bcasts)
+	case OpGather:
+		return Names(Gathers)
+	case OpScatter:
+		return Names(Scatters)
+	case OpAlltoall:
+		return Names(Alltoalls)
+	case OpReduce:
+		return Names(Reduces)
+	case OpScan:
+		return Names(Scans)
+	case OpAllgather:
+		return Names(Allgathers)
+	case OpAllreduce:
+		return Names(Allreduces)
+	}
+	return nil
+}
+
+// HasAlgorithm reports whether name is registered for op.
+func HasAlgorithm(op, name string) bool {
+	for _, n := range Algorithms(op) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

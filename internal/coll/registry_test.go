@@ -1,0 +1,89 @@
+package coll
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// allAlgConstants lists every Alg* constant in the package.
+var allAlgConstants = []string{
+	AlgLinear, AlgBinomial, AlgCentral, AlgTree, AlgDissemination,
+	AlgHardware, AlgPairwise, AlgXOR, AlgBruck, AlgRecursiveDoubling,
+	AlgRing, AlgGatherBcast, AlgReduceBcast, AlgScatterAllgather,
+	AlgRabenseifner, AlgPipelined,
+}
+
+// TestEveryAlgConstantResolves checks that each Alg* constant is
+// registered for at least one operation — a renamed registry key or a
+// dangling constant fails here. AlgHardware is the one exception: the
+// T3D barrier circuit needs machine support and is bound by the mpi
+// layer, not a registry.
+func TestEveryAlgConstantResolves(t *testing.T) {
+	registered := map[string]bool{}
+	for _, op := range RegisteredOps() {
+		for _, name := range Algorithms(op) {
+			registered[name] = true
+		}
+	}
+	for _, c := range allAlgConstants {
+		if c == AlgHardware {
+			if registered[c] {
+				t.Errorf("%q must stay out of the registries (machine-bound)", c)
+			}
+			continue
+		}
+		if !registered[c] {
+			t.Errorf("constant %q is in no registry", c)
+		}
+	}
+}
+
+func TestRegistryListingsSortedAndStable(t *testing.T) {
+	for _, op := range RegisteredOps() {
+		algs := Algorithms(op)
+		if len(algs) == 0 {
+			t.Errorf("%s: empty registry", op)
+		}
+		if !sort.StringsAreSorted(algs) {
+			t.Errorf("%s: listing not sorted: %v", op, algs)
+		}
+		if again := Algorithms(op); !reflect.DeepEqual(algs, again) {
+			t.Errorf("%s: listing unstable: %v vs %v", op, algs, again)
+		}
+	}
+}
+
+func TestRegisteredOpsSortedAndComplete(t *testing.T) {
+	ops := RegisteredOps()
+	if !sort.StringsAreSorted(ops) {
+		t.Fatalf("RegisteredOps not sorted: %v", ops)
+	}
+	want := map[string]int{
+		OpBarrier: len(Barriers), OpBroadcast: len(Bcasts),
+		OpGather: len(Gathers), OpScatter: len(Scatters),
+		OpAlltoall: len(Alltoalls), OpReduce: len(Reduces),
+		OpScan: len(Scans), OpAllgather: len(Allgathers),
+		OpAllreduce: len(Allreduces),
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("RegisteredOps = %v, want %d ops", ops, len(want))
+	}
+	for op, n := range want {
+		if got := len(Algorithms(op)); got != n {
+			t.Errorf("%s: %d algorithms listed, registry holds %d", op, got, n)
+		}
+	}
+}
+
+func TestAlgorithmsUnknownOp(t *testing.T) {
+	if got := Algorithms("gossip"); got != nil {
+		t.Fatalf("Algorithms(gossip) = %v, want nil", got)
+	}
+	if HasAlgorithm("broadcast", "telepathy") {
+		t.Fatal("HasAlgorithm accepted an unregistered name")
+	}
+	if !HasAlgorithm("alltoall", AlgBruck) {
+		t.Fatal("HasAlgorithm rejected a registered name")
+	}
+}

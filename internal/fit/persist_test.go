@@ -1,0 +1,60 @@
+package fit
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripPreservesDataset(t *testing.T) {
+	d := &Dataset{}
+	d.Add(2, 0, 3.25)
+	d.Add(2, 4, 41.5)
+	d.Add(64, 65536, 317000.125)
+	d.Add(128, 4, 0.0078125)
+	d.Add(8, 1024, 123.456789012345)
+
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip changed the dataset:\n got %+v\nwant %+v", got.Points, d.Points)
+	}
+}
+
+func TestWriteCSVFormat(t *testing.T) {
+	d := &Dataset{}
+	d.Add(4, 16, 12.5)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "p,m,micros\n4,16,12.5\n"
+	if buf.String() != want {
+		t.Fatalf("WriteCSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadCSVToleratesHeaderAndBlankLines(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("p,m,micros\n\n2,4,1.5\n\n8,16,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 2 || d.Points[0] != (Point{P: 2, M: 4, Micros: 1.5}) {
+		t.Fatalf("parsed %+v", d.Points)
+	}
+}
+
+func TestReadCSVRejectsMalformedRows(t *testing.T) {
+	for _, in := range []string{"1,2\n", "a,2,3\n", "1,b,3\n", "1,2,c\n"} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV accepted %q", in)
+		}
+	}
+}

@@ -61,15 +61,23 @@ type Sample struct {
 }
 
 // MeasureOp measures one collective on p nodes of m with msgLen bytes
-// per pair, following the paper's procedure.
+// per pair, following the paper's procedure, using the machine's vendor
+// algorithm table.
 func MeasureOp(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config) Sample {
+	return MeasureOpWith(mach, op, p, msgLen, cfg, mpi.DefaultAlgorithms(mach))
+}
+
+// MeasureOpWith is MeasureOp with an explicit algorithm table, used by
+// the sweep engine to compare collective algorithm variants on the same
+// machine.
+func MeasureOpWith(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, algs mpi.Algorithms) Sample {
 	if cfg.K < 1 || cfg.Reps < 1 {
 		panic("measure: need K ≥ 1 and Reps ≥ 1")
 	}
 	reps := make([]float64, 0, cfg.Reps)
 	var minSum, meanSum float64
 	for rep := 0; rep < cfg.Reps; rep++ {
-		r := runOnce(mach, op, p, msgLen, cfg, int64(rep))
+		r := runOnce(mach, op, p, msgLen, cfg, int64(rep), algs)
 		reps = append(reps, r.Max)
 		minSum += r.Min
 		meanSum += r.Mean
@@ -84,10 +92,10 @@ func MeasureOp(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config) 
 
 // runOnce executes one benchmark program and returns the per-rank
 // summary (the paper's min/max/mean over all processes) in µs.
-func runOnce(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, rep int64) stats.Summary {
+func runOnce(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, rep int64, algs mpi.Algorithms) stats.Summary {
 	cl := machine.NewCluster(mach, p, cfg.Seed+rep)
 	locals := make([]sim.Duration, p)
-	err := mpi.RunCluster(cl, func(c *mpi.Comm) {
+	err := mpi.RunWithAlgorithms(cl, algs, func(c *mpi.Comm) {
 		body := opBody(c, op, msgLen)
 		for w := 0; w < cfg.Warmup; w++ {
 			body()

@@ -3,7 +3,9 @@ package measure
 import (
 	"testing"
 
+	"repro/internal/coll"
 	"repro/internal/machine"
+	"repro/internal/mpi"
 )
 
 func TestMeasureBarrierT3DNearHardwareCost(t *testing.T) {
@@ -137,26 +139,16 @@ func TestSampleRankStatsOrdered(t *testing.T) {
 	}
 }
 
-func TestSweepParallelMatchesSerial(t *testing.T) {
-	sizes := []int{2, 4, 8, 16}
-	lengths := []int{4, 1024, 16384}
-	cfg := Fast()
-	serial := Sweep(machine.Paragon(), machine.OpGather, sizes, lengths, cfg)
-	parallel := SweepParallel(machine.Paragon(), machine.OpGather, sizes, lengths, cfg, 4)
-	if len(serial.Points) != len(parallel.Points) {
-		t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(parallel.Points))
+func TestMeasureOpWithDefaultTableMatchesMeasureOp(t *testing.T) {
+	m := machine.T3D()
+	a := MeasureOp(m, machine.OpAlltoall, 4, 256, Fast())
+	b := MeasureOpWith(m, machine.OpAlltoall, 4, 256, Fast(), mpi.DefaultAlgorithms(m))
+	if a != b {
+		t.Fatalf("default-table MeasureOpWith diverged: %+v vs %+v", a, b)
 	}
-	for i := range serial.Points {
-		a, b := serial.Points[i], parallel.Points[i]
-		if a != b {
-			t.Fatalf("point %d differs: %+v vs %+v (parallelism broke determinism)", i, a, b)
-		}
-	}
-}
-
-func TestSweepParallelSingleWorker(t *testing.T) {
-	d := SweepParallel(machine.T3D(), machine.OpBroadcast, []int{2, 4}, []int{4}, Fast(), 1)
-	if len(d.Points) != 2 {
-		t.Fatalf("%d points", len(d.Points))
+	c := MeasureOpWith(m, machine.OpAlltoall, 4, 256, Fast(),
+		mpi.DefaultAlgorithms(m).With(machine.OpAlltoall, coll.AlgBruck))
+	if c == a {
+		t.Fatal("bruck alltoall measured identically to pairwise — algorithm table ignored")
 	}
 }

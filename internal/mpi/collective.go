@@ -50,6 +50,59 @@ func DefaultAlgorithms(m *machine.Machine) Algorithms {
 	return a
 }
 
+// With returns a copy of a with op's algorithm replaced by name. It
+// panics on an operation that has no algorithm slot (p2p).
+func (a Algorithms) With(op machine.Op, name string) Algorithms {
+	switch op {
+	case machine.OpBarrier:
+		a.Barrier = name
+	case machine.OpBroadcast:
+		a.Bcast = name
+	case machine.OpGather:
+		a.Gather = name
+	case machine.OpScatter:
+		a.Scatter = name
+	case machine.OpAlltoall:
+		a.Alltoall = name
+	case machine.OpReduce:
+		a.Reduce = name
+	case machine.OpScan:
+		a.Scan = name
+	case machine.OpAllgather:
+		a.Allgather = name
+	case machine.OpAllreduce:
+		a.Allreduce = name
+	default:
+		panic(fmt.Sprintf("mpi: operation %q has no algorithm slot", op))
+	}
+	return a
+}
+
+// Get returns the algorithm selected for op (the inverse of With).
+func (a Algorithms) Get(op machine.Op) string {
+	switch op {
+	case machine.OpBarrier:
+		return a.Barrier
+	case machine.OpBroadcast:
+		return a.Bcast
+	case machine.OpGather:
+		return a.Gather
+	case machine.OpScatter:
+		return a.Scatter
+	case machine.OpAlltoall:
+		return a.Alltoall
+	case machine.OpReduce:
+		return a.Reduce
+	case machine.OpScan:
+		return a.Scan
+	case machine.OpAllgather:
+		return a.Allgather
+	case machine.OpAllreduce:
+		return a.Allreduce
+	}
+	panic(fmt.Sprintf("mpi: operation %q has no algorithm slot", op))
+}
+
 func lookup[V any](reg map[string]V, name, what string) V {
 	v, ok := reg[name]
 	if !ok {

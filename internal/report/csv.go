@@ -1,0 +1,28 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSVTable writes one header row followed by data rows as
+// RFC 4180 CSV. Every row must have the header's width; a ragged row is
+// an error so malformed tables never reach external tooling silently.
+func WriteCSVTable(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("report: csv row %d has %d fields, header has %d",
+				i, len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSVTable(&buf,
+		[]string{"machine", "op", "micros"},
+		[][]string{
+			{"SP2", "alltoall", "317000"},
+			{"T3D", "barrier", "3.1"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "machine,op,micros\nSP2,alltoall,317000\nT3D,barrier,3.1\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVTableQuotesSpecials(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSVTable(&buf, []string{"a", "b"}, [][]string{{`x,y`, `say "hi"`}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVTableRejectsRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSVTable(&buf, []string{"a", "b"}, [][]string{{"only-one"}})
+	if err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &Figure{
+		XLabel: "p",
+		Series: []Series{
+			{Label: "SP2", X: []int{2, 8}, Y: []float64{1.5, 4}},
+			{Label: "T3D", X: []int{2}, Y: []float64{0.25}},
+		},
+	}
+	var buf bytes.Buffer
+	f.WriteCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"p,SP2,T3D", "2,1.5,0.25", "8,4,"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines: %q", len(lines), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}

@@ -122,11 +122,11 @@ func writeAligned(w io.Writer, header []string, rows [][]string, note string) {
 // WriteCSV renders the figure as CSV with an x column and one column per
 // series.
 func (f *Figure) WriteCSV(w io.Writer) {
-	cols := []string{f.XLabel}
+	header := []string{f.XLabel}
 	for _, s := range f.Series {
-		cols = append(cols, s.Label)
+		header = append(header, s.Label)
 	}
-	fmt.Fprintln(w, strings.Join(cols, ","))
+	var rows [][]string
 	for _, x := range f.unionX() {
 		row := []string{fmt.Sprintf("%d", x)}
 		for _, s := range f.Series {
@@ -136,6 +136,7 @@ func (f *Figure) WriteCSV(w io.Writer) {
 				row = append(row, "")
 			}
 		}
-		fmt.Fprintln(w, strings.Join(row, ","))
+		rows = append(rows, row)
 	}
+	_ = WriteCSVTable(w, header, rows)
 }

@@ -1,0 +1,199 @@
+package sweep
+
+import (
+	"sort"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// ToDataset converts results into a fit.Dataset in result order. It is
+// meant for a single (machine, op, algorithm) slice of a sweep, the
+// unit the fit package's Table 3 machinery consumes.
+func ToDataset(results []Result) *fit.Dataset {
+	d := &fit.Dataset{}
+	for _, r := range results {
+		d.Add(r.Scenario.P, r.Scenario.M, r.Sample.Micros)
+	}
+	return d
+}
+
+// GroupKey identifies one (machine, op, algorithm) slice of a sweep.
+type GroupKey struct {
+	Machine   string
+	Op        machine.Op
+	Algorithm string
+}
+
+// Group is the results of one (machine, op, algorithm) slice, in
+// scenario order, with a percentile summary of the headline times.
+type Group struct {
+	GroupKey
+	Results []Result
+	// N and the quantiles summarize Sample.Micros across the grid
+	// points of the group.
+	N             int
+	MinMicros     float64
+	MedianMicros  float64
+	P95Micros     float64
+	MaxMicros     float64
+	GeoMeanMicros float64
+	CachedCount   int
+}
+
+// Groups partitions results by (machine, op, algorithm), preserving
+// first-appearance order, and summarizes each group.
+func Groups(results []Result) []Group {
+	idx := map[GroupKey]int{}
+	var out []Group
+	for _, r := range results {
+		k := GroupKey{r.Scenario.Machine, r.Scenario.Op, r.Scenario.Algorithm}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, Group{GroupKey: k})
+		}
+		out[i].Results = append(out[i].Results, r)
+	}
+	for i := range out {
+		g := &out[i]
+		xs := make([]float64, 0, len(g.Results))
+		for _, r := range g.Results {
+			xs = append(xs, r.Sample.Micros)
+			if r.Cached {
+				g.CachedCount++
+			}
+		}
+		s := stats.Summarize(xs)
+		g.N = s.N
+		g.MinMicros = s.Min
+		g.MaxMicros = s.Max
+		g.MedianMicros = stats.Median(xs)
+		g.P95Micros = stats.Percentile(xs, 95)
+		g.GeoMeanMicros = stats.GeoMean(xs)
+	}
+	return out
+}
+
+// Decision is the winner among algorithm variants at one grid point.
+type Decision struct {
+	Machine string
+	Op      machine.Op
+	P, M    int
+	// Best and BestMicros name the fastest variant; RunnerUp the
+	// second-fastest (empty when only one variant ran). Margin is
+	// RunnerUpMicros/BestMicros — how much choosing right matters.
+	Best           string
+	BestMicros     float64
+	RunnerUp       string
+	RunnerUpMicros float64
+}
+
+// Margin returns runner-up time over best time (1 when no runner-up).
+func (d Decision) Margin() float64 {
+	if d.RunnerUp == "" || d.BestMicros <= 0 {
+		return 1
+	}
+	return d.RunnerUpMicros / d.BestMicros
+}
+
+// BestAlgorithms reduces a multi-variant sweep to a per-grid-point
+// decision table: for every (machine, op, p, m) with at least two
+// variants measured, which algorithm won and by what margin. Points
+// appear in first-appearance order; ties break toward the variant that
+// appeared first (expansion order is deterministic, so so is this).
+func BestAlgorithms(results []Result) []Decision {
+	type pointKey struct {
+		mach string
+		op   machine.Op
+		p, m int
+	}
+	idx := map[pointKey]int{}
+	var order []pointKey
+	byPoint := map[pointKey][]Result{}
+	for _, r := range results {
+		k := pointKey{r.Scenario.Machine, r.Scenario.Op, r.Scenario.P, r.Scenario.M}
+		if _, ok := idx[k]; !ok {
+			idx[k] = len(order)
+			order = append(order, k)
+		}
+		byPoint[k] = append(byPoint[k], r)
+	}
+	var out []Decision
+	for _, k := range order {
+		rs := byPoint[k]
+		if len(rs) < 2 {
+			continue
+		}
+		best, second := rs[0], Result{}
+		hasSecond := false
+		for _, r := range rs[1:] {
+			switch {
+			case r.Sample.Micros < best.Sample.Micros:
+				second, hasSecond = best, true
+				best = r
+			case !hasSecond || r.Sample.Micros < second.Sample.Micros:
+				second, hasSecond = r, true
+			}
+		}
+		d := Decision{
+			Machine: k.mach, Op: k.op, P: k.p, M: k.m,
+			Best: best.Scenario.Algorithm, BestMicros: best.Sample.Micros,
+		}
+		if hasSecond {
+			d.RunnerUp = second.Scenario.Algorithm
+			d.RunnerUpMicros = second.Sample.Micros
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WinCount is an algorithm's tally in one machine × op decision slice.
+type WinCount struct {
+	Machine   string
+	Op        machine.Op
+	Algorithm string
+	Wins      int
+	Points    int // decision points for this machine × op
+}
+
+// WinCounts rolls decisions up per machine × op: how often each winning
+// algorithm came first. Entries are sorted by machine, op, then
+// descending wins (algorithm name breaking ties).
+func WinCounts(decisions []Decision) []WinCount {
+	type slot struct {
+		mach string
+		op   machine.Op
+		alg  string
+	}
+	wins := map[slot]int{}
+	points := map[[2]string]int{}
+	for _, d := range decisions {
+		wins[slot{d.Machine, d.Op, d.Best}]++
+		points[[2]string{d.Machine, string(d.Op)}]++
+	}
+	out := make([]WinCount, 0, len(wins))
+	for s, n := range wins {
+		out = append(out, WinCount{
+			Machine: s.mach, Op: s.op, Algorithm: s.alg,
+			Wins: n, Points: points[[2]string{s.mach, string(s.op)}],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Wins != b.Wins {
+			return a.Wins > b.Wins
+		}
+		return a.Algorithm < b.Algorithm
+	})
+	return out
+}

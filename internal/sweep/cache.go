@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+)
+
+// cacheVersion is baked into every content key; bump it when the
+// measurement semantics change in a way the key fields do not capture.
+const cacheVersion = 1
+
+// Fingerprint hashes a machine's full calibration-constant set (network
+// parameters, per-operation tunings, noise model — everything in
+// machine.Params). It is part of every cache key, so editing a preset
+// silently invalidates all of that machine's cached results.
+func Fingerprint(m *machine.Machine) string {
+	// encoding/json sorts map keys, so the Tunings map serializes
+	// deterministically.
+	blob, err := json.Marshal(m.Params())
+	if err != nil {
+		panic(fmt.Sprintf("sweep: fingerprint %s: %v", m.Name(), err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Key returns the scenario's content key given its machine's
+// calibration fingerprint: identical inputs — scenario coordinates,
+// methodology (including seed), calibration constants — always produce
+// the same key, and any drift produces a different one.
+func (s Scenario) Key(fingerprint string) string {
+	blob, err := json.Marshal(struct {
+		V           int      `json:"v"`
+		Scenario    Scenario `json:"scenario"`
+		Calibration string   `json:"calibration"`
+	}{cacheVersion, s, fingerprint})
+	if err != nil {
+		panic(fmt.Sprintf("sweep: key %s: %v", s.ID(), err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// entry is the JSON persistence envelope of one cached result. The
+// scenario ID is stored for humans inspecting the cache directory; the
+// key alone decides a hit.
+type entry struct {
+	Key    string         `json:"key"`
+	ID     string         `json:"id"`
+	Sample measure.Sample `json:"sample"`
+}
+
+// Cache is a content-keyed result store, one JSON file per scenario
+// under a directory. The zero of *Cache (nil) is a valid no-op cache.
+type Cache struct {
+	dir string
+}
+
+// OpenCache returns a cache rooted at dir, creating it if needed. An
+// empty dir returns nil — caching disabled.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached sample for key, if present and intact.
+// Corrupt or mismatched entries read as misses.
+func (c *Cache) Get(key string) (measure.Sample, bool) {
+	if c == nil {
+		return measure.Sample{}, false
+	}
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return measure.Sample{}, false
+	}
+	defer f.Close()
+	e, err := readEntry(f)
+	if err != nil || e.Key != key {
+		return measure.Sample{}, false
+	}
+	return e.Sample, true
+}
+
+// Put stores a sample under key, atomically (write-temp + rename) so
+// concurrent sweeps sharing a directory never observe partial entries.
+func (c *Cache) Put(key, id string, s measure.Sample) error {
+	if c == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeEntry(tmp, entry{Key: key, ID: id, Sample: s}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	return nil
+}
+
+// writeEntry / readEntry are the io-level persistence pair, following
+// the internal/fit persist idiom (WriteCSV/ReadCSV) with JSON framing.
+func writeEntry(w io.Writer, e entry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+func readEntry(r io.Reader) (entry, error) {
+	var e entry
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return entry{}, err
+	}
+	return e, nil
+}

@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+
+	"repro/internal/coll"
+)
+
+// Result is one executed (or cache-served) scenario.
+type Result struct {
+	Scenario Scenario       `json:"scenario"`
+	Sample   measure.Sample `json:"sample"`
+	Cached   bool           `json:"cached"`
+}
+
+// Progress describes one completed scenario, reported in completion
+// order (which varies with scheduling; the result slice does not).
+type Progress struct {
+	Done, Total int
+	Scenario    Scenario
+	Cached      bool
+	Micros      float64
+}
+
+// Runner shards scenarios across a worker pool. Every scenario is an
+// independent simulation — its own cluster, kernel, and RNG seeded from
+// the scenario — so results are identical regardless of worker count;
+// only wall-clock time changes.
+type Runner struct {
+	// Workers is the pool size; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// BatchSize groups scenarios per work item to amortize channel
+	// traffic on large grids; ≤ 0 picks a size that keeps every worker
+	// busy with a few batches.
+	BatchSize int
+	// Cache, when non-nil, serves repeated scenarios without
+	// simulating and persists fresh results.
+	Cache *Cache
+	// OnProgress, when non-nil, is called after each scenario (from a
+	// single goroutine at a time).
+	OnProgress func(Progress)
+}
+
+// Run executes all scenarios and returns results in scenario order.
+// Scenarios must come from Spec.Expand (or satisfy the same
+// invariants); an invalid algorithm or machine panics, matching the
+// measure package's contract.
+func (r *Runner) Run(scenarios []Scenario) []Result {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) && len(scenarios) > 0 {
+		workers = len(scenarios)
+	}
+	batch := r.BatchSize
+	if batch <= 0 {
+		// Aim for ~4 batches per worker so the tail stays balanced
+		// without a channel send per scenario.
+		batch = len(scenarios)/(4*workers) + 1
+	}
+
+	// Per-machine state shared by all workers, resolved once.
+	mctx := map[string]*machineCtx{}
+	for _, sc := range scenarios {
+		if _, ok := mctx[sc.Machine]; ok {
+			continue
+		}
+		m := machine.ByName(sc.Machine)
+		if m == nil {
+			panic(fmt.Sprintf("sweep: unknown machine %q", sc.Machine))
+		}
+		c := &machineCtx{m: m, defaults: mpi.DefaultAlgorithms(m)}
+		if r.Cache != nil {
+			c.fingerprint = Fingerprint(m)
+		}
+		mctx[sc.Machine] = c
+	}
+
+	results := make([]Result, len(scenarios))
+	jobs := make(chan [2]int, workers) // bounded queue of [lo, hi) index ranges
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for span := range jobs {
+				for i := span[0]; i < span[1]; i++ {
+					sc := scenarios[i]
+					results[i] = r.runOne(sc, mctx[sc.Machine])
+					n := int(done.Add(1))
+					if r.OnProgress != nil {
+						progressMu.Lock()
+						r.OnProgress(Progress{
+							Done: n, Total: len(scenarios),
+							Scenario: sc,
+							Cached:   results[i].Cached,
+							Micros:   results[i].Sample.Micros,
+						})
+						progressMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(scenarios); lo += batch {
+		hi := lo + batch
+		if hi > len(scenarios) {
+			hi = len(scenarios)
+		}
+		jobs <- [2]int{lo, hi}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+type machineCtx struct {
+	m           *machine.Machine
+	defaults    mpi.Algorithms
+	fingerprint string // "" when no cache is attached
+}
+
+// runOne serves one scenario from the cache or simulates it. Only the
+// scenario's own operation deviates from the vendor algorithm table, so
+// the in-band synchronization barrier of the measurement procedure is
+// the same across variants of another operation.
+func (r *Runner) runOne(sc Scenario, mc *machineCtx) Result {
+	var key string
+	if r.Cache != nil {
+		key = sc.Key(mc.fingerprint)
+		if s, ok := r.Cache.Get(key); ok {
+			return Result{Scenario: sc, Sample: s, Cached: true}
+		}
+	}
+	algs := mc.defaults
+	if sc.Algorithm != DefaultAlgorithm && sc.Algorithm != "" {
+		algs = algs.With(sc.Op, sc.Algorithm)
+	}
+	// The hardware barrier is selected by name like any registry
+	// algorithm but only the mpi layer can bind it.
+	if sc.Op == machine.OpBarrier && sc.Algorithm == coll.AlgHardware && !mc.m.HardwareBarrier() {
+		panic(fmt.Sprintf("sweep: %s has no hardware barrier", sc.Machine))
+	}
+	s := measure.MeasureOpWith(mc.m, sc.Op, sc.P, sc.M, sc.Config, algs)
+	if r.Cache != nil {
+		_ = r.Cache.Put(key, sc.ID(), s) // best-effort; a full disk must not fail the sweep
+	}
+	return Result{Scenario: sc, Sample: s}
+}

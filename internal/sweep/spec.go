@@ -1,0 +1,218 @@
+// Package sweep is the scenario-sweep engine of the reproduction: it
+// expands a declarative experiment grid — machine preset × collective
+// operation × algorithm variant × message length × machine size ×
+// measurement methodology — into concrete scenarios, fans them out
+// across CPU cores (one independent simulation per scenario), caches
+// results under a content key derived from the scenario and the
+// machine's calibration constants, and aggregates the outcome into
+// decision tables and reports.
+//
+// The paper's own evaluation is exactly such a grid (three machines ×
+// seven operations × factor-of-four message lengths × power-of-two
+// machine sizes); cmd/experiments, cmd/collbench, and cmd/sweep all
+// drive this engine rather than carrying private grid loops.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/paper"
+)
+
+// DefaultAlgorithm is the Scenario.Algorithm value meaning "the
+// machine's vendor MPI algorithm table" (mpi.DefaultAlgorithms).
+const DefaultAlgorithm = "default"
+
+// Scenario is one fully-specified measurement: a collective on a
+// machine at one grid point, with the algorithm variant and the
+// measurement methodology pinned down.
+type Scenario struct {
+	Machine   string         `json:"machine"`
+	Op        machine.Op     `json:"op"`
+	Algorithm string         `json:"algorithm"` // DefaultAlgorithm or a coll registry name
+	P         int            `json:"p"`         // machine size (nodes)
+	M         int            `json:"m"`         // message length per pair (bytes)
+	Config    measure.Config `json:"config"`
+}
+
+// ID returns a human-readable scenario identifier, stable across runs.
+func (s Scenario) ID() string {
+	return fmt.Sprintf("%s/%s[%s]/p=%d/m=%d", s.Machine, s.Op, s.Algorithm, s.P, s.M)
+}
+
+// Spec is a declarative scenario grid. Zero-value fields select the
+// paper's sweep: all three machines, the seven Table 3 operations, the
+// vendor-default algorithm per operation, the §2 machine sizes (capped
+// per machine) and message lengths, and the fast methodology.
+type Spec struct {
+	// Machines are preset names (machine.ByName); nil means all.
+	Machines []string
+	// Ops are the operations to sweep; nil means machine.Ops.
+	Ops []machine.Op
+	// Algorithms maps an operation to the algorithm variants to sweep
+	// for it. A nil map, or an op missing from the map, selects only
+	// the vendor default. coll.Algorithms(op) enumerates candidates.
+	Algorithms map[machine.Op][]string
+	// Sizes are machine sizes; nil means paper.MachineSizes per
+	// machine. Sizes above a machine's allocation are skipped.
+	Sizes []int
+	// Lengths are message lengths in bytes; nil means
+	// paper.MessageLengths. Barriers always use length 0.
+	Lengths []int
+	// Config is the measurement methodology; the zero value means
+	// measure.Fast().
+	Config measure.Config
+	// DeriveSeeds gives every scenario its own deterministic seed
+	// (hashed from the scenario identity and the base seed) instead of
+	// sharing Config.Seed. Derived seeds decorrelate the noise draws
+	// of neighboring grid points; the shared seed reproduces the
+	// paper-reproduction harness exactly.
+	DeriveSeeds bool
+}
+
+// AllAlgorithms returns an Algorithms map selecting every registered
+// variant for each of ops (plus the hardware barrier where a machine
+// supports it, handled at expansion).
+func AllAlgorithms(ops []machine.Op) map[machine.Op][]string {
+	m := make(map[machine.Op][]string, len(ops))
+	for _, op := range ops {
+		algs := coll.Algorithms(string(op))
+		if algs == nil {
+			continue
+		}
+		if op == machine.OpBarrier {
+			algs = append(append([]string(nil), algs...), coll.AlgHardware)
+			sort.Strings(algs)
+		}
+		m[op] = algs
+	}
+	return m
+}
+
+// Expand materializes the grid into concrete scenarios, in
+// deterministic order (machines → ops → algorithms → sizes → lengths).
+// It validates every dimension and returns an error naming the first
+// invalid entry.
+func (sp Spec) Expand() ([]Scenario, error) {
+	machines := sp.Machines
+	if len(machines) == 0 {
+		for _, m := range machine.All() {
+			machines = append(machines, m.Name())
+		}
+	}
+	ops := sp.Ops
+	if len(ops) == 0 {
+		ops = machine.Ops
+	}
+	cfg := sp.Config
+	if cfg == (measure.Config{}) {
+		cfg = measure.Fast()
+	}
+	if cfg.K < 1 || cfg.Reps < 1 {
+		return nil, fmt.Errorf("sweep: config needs K ≥ 1 and Reps ≥ 1")
+	}
+	lengths := sp.Lengths
+	if len(lengths) == 0 {
+		lengths = paper.MessageLengths()
+	}
+	lengths = append([]int(nil), lengths...)
+	sort.Ints(lengths)
+
+	var out []Scenario
+	for _, name := range machines {
+		mach := machine.ByName(name)
+		if mach == nil {
+			return nil, fmt.Errorf("sweep: unknown machine %q", name)
+		}
+		sizes := sp.Sizes
+		if len(sizes) == 0 {
+			sizes = paper.MachineSizes(name)
+		}
+		for _, op := range ops {
+			if coll.Algorithms(string(op)) == nil {
+				return nil, fmt.Errorf("sweep: unknown operation %q", op)
+			}
+			algs, err := sp.algorithmsFor(mach, op)
+			if err != nil {
+				return nil, err
+			}
+			opLengths := lengths
+			if op == machine.OpBarrier {
+				opLengths = []int{0}
+			}
+			for _, alg := range algs {
+				for _, p := range sizes {
+					if p < 2 {
+						return nil, fmt.Errorf("sweep: machine size %d < 2", p)
+					}
+					if p > mach.MaxNodes() {
+						continue
+					}
+					for _, m := range opLengths {
+						if m < 0 {
+							return nil, fmt.Errorf("sweep: negative message length %d", m)
+						}
+						sc := Scenario{
+							Machine: name, Op: op, Algorithm: alg,
+							P: p, M: m, Config: cfg,
+						}
+						if sp.DeriveSeeds {
+							sc.Config.Seed = deriveSeed(cfg.Seed, sc)
+						}
+						out = append(out, sc)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// algorithmsFor resolves the variant list for one op on one machine.
+func (sp Spec) algorithmsFor(mach *machine.Machine, op machine.Op) ([]string, error) {
+	algs, ok := sp.Algorithms[op]
+	if !ok || len(algs) == 0 {
+		return []string{DefaultAlgorithm}, nil
+	}
+	out := make([]string, 0, len(algs))
+	for _, a := range algs {
+		switch {
+		case a == DefaultAlgorithm:
+		case a == coll.AlgHardware && op == machine.OpBarrier:
+			// The T3D barrier circuit: machine-bound, not in the
+			// registry. Skip silently on machines without the hardware
+			// so "all variants" specs stay valid across machines.
+			if !mach.HardwareBarrier() {
+				continue
+			}
+		case !coll.HasAlgorithm(string(op), a):
+			return nil, fmt.Errorf("sweep: no %s algorithm %q (have %v)",
+				op, a, coll.Algorithms(string(op)))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		// Every requested variant was machine-gated away: the user
+		// named only the hardware barrier on a machine without the
+		// circuit. Substituting the default here would silently
+		// measure something the spec never asked for.
+		return nil, fmt.Errorf("sweep: %s algorithm %q needs machine support (%s has none)",
+			op, coll.AlgHardware, mach.Name())
+	}
+	return out, nil
+}
+
+// deriveSeed hashes a scenario's identity (without its seed) into a
+// per-scenario RNG seed, mixed with the base seed so whole sweeps can
+// be re-rolled.
+func deriveSeed(base int64, sc Scenario) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d", sc.Machine, sc.Op, sc.Algorithm, sc.P, sc.M)
+	seed := int64(h.Sum64() & 0x7fffffffffffffff)
+	return seed ^ base
+}

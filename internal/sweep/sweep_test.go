@@ -1,0 +1,345 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/paper"
+)
+
+// tinyCfg keeps executor tests fast: one warm-up-free iteration, one
+// execution.
+var tinyCfg = measure.Config{Warmup: 0, K: 1, Reps: 1, Seed: 7}
+
+func TestExpandDefaultsCoverPaperGrid(t *testing.T) {
+	scns, err := Spec{}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	lengths := len(paper.MessageLengths())
+	for _, m := range machine.All() {
+		sizes := len(paper.MachineSizes(m.Name()))
+		want += sizes * (1 + (len(machine.Ops)-1)*lengths) // barrier has one length
+	}
+	if len(scns) != want {
+		t.Fatalf("expanded %d scenarios, want %d", len(scns), want)
+	}
+	fast := measure.Fast()
+	for _, sc := range scns {
+		if sc.Config != fast {
+			t.Fatalf("%s: config %+v, want fast default", sc.ID(), sc.Config)
+		}
+		if sc.Algorithm != DefaultAlgorithm {
+			t.Fatalf("%s: algorithm %q, want default", sc.ID(), sc.Algorithm)
+		}
+		if sc.Op == machine.OpBarrier && sc.M != 0 {
+			t.Fatalf("barrier scenario with m=%d", sc.M)
+		}
+		if sc.P > machine.ByName(sc.Machine).MaxNodes() {
+			t.Fatalf("%s exceeds allocation", sc.ID())
+		}
+	}
+}
+
+func TestExpandValidates(t *testing.T) {
+	cases := []Spec{
+		{Machines: []string{"CM-5"}},
+		{Ops: []machine.Op{"gossip"}},
+		{Algorithms: map[machine.Op][]string{machine.OpBroadcast: {"telepathy"}}},
+		{Sizes: []int{1}},
+		{Lengths: []int{-4}},
+		{Config: measure.Config{K: 0, Reps: 1}},
+		// Hardware barrier as the sole variant on a machine without
+		// the circuit must error, not silently measure the default.
+		{Machines: []string{"SP2"}, Ops: []machine.Op{machine.OpBarrier},
+			Algorithms: map[machine.Op][]string{machine.OpBarrier: {coll.AlgHardware}}},
+	}
+	for i, sp := range cases {
+		if _, err := sp.Expand(); err == nil {
+			t.Errorf("case %d: Expand accepted invalid spec %+v", i, sp)
+		}
+	}
+}
+
+func TestExpandHardwareBarrierOnlyWhereSupported(t *testing.T) {
+	sp := Spec{
+		Ops:        []machine.Op{machine.OpBarrier},
+		Algorithms: map[machine.Op][]string{machine.OpBarrier: {coll.AlgHardware, coll.AlgTree}},
+		Sizes:      []int{4},
+	}
+	scns, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]string{}
+	for _, sc := range scns {
+		got[sc.Machine] = append(got[sc.Machine], sc.Algorithm)
+	}
+	for mach, algs := range got {
+		wantHW := machine.ByName(mach).HardwareBarrier()
+		hasHW := false
+		for _, a := range algs {
+			hasHW = hasHW || a == coll.AlgHardware
+		}
+		if hasHW != wantHW {
+			t.Errorf("%s: hardware barrier expanded=%v, machine support=%v", mach, hasHW, wantHW)
+		}
+	}
+}
+
+func TestAllAlgorithmsMatchesRegistries(t *testing.T) {
+	m := AllAlgorithms(machine.Ops)
+	for _, op := range machine.Ops {
+		want := coll.Algorithms(string(op))
+		if op == machine.OpBarrier {
+			// The hardware barrier rides along for barrier sweeps;
+			// expansion drops it on machines without the circuit.
+			want = append(append([]string(nil), want...), coll.AlgHardware)
+			sort.Strings(want)
+		}
+		if !reflect.DeepEqual(m[op], want) {
+			t.Errorf("%s: %v, want %v", op, m[op], want)
+		}
+	}
+}
+
+func TestDeriveSeedsAreDistinctAndStable(t *testing.T) {
+	sp := Spec{
+		Machines: []string{"SP2"}, Ops: []machine.Op{machine.OpBroadcast},
+		Sizes: []int{2, 4}, Lengths: []int{4, 64},
+		Config: tinyCfg, DeriveSeeds: true,
+	}
+	a, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sp.Expand()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("expansion is not deterministic")
+	}
+	seeds := map[int64]string{}
+	for _, sc := range a {
+		if prev, dup := seeds[sc.Config.Seed]; dup {
+			t.Fatalf("seed collision: %s and %s", prev, sc.ID())
+		}
+		seeds[sc.Config.Seed] = sc.ID()
+	}
+}
+
+func testScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	sp := Spec{
+		Machines: []string{"T3D"},
+		Ops:      []machine.Op{machine.OpBarrier, machine.OpBroadcast, machine.OpAlltoall},
+		Algorithms: map[machine.Op][]string{
+			machine.OpAlltoall: coll.Algorithms(coll.OpAlltoall),
+		},
+		Sizes: []int{2, 4}, Lengths: []int{4, 256},
+		Config: tinyCfg,
+	}
+	scns, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scns
+}
+
+func TestRunnerResultsIndependentOfWorkerCount(t *testing.T) {
+	scns := testScenarios(t)
+	serial := (&Runner{Workers: 1}).Run(scns)
+	parallel := (&Runner{Workers: 8, BatchSize: 1}).Run(scns)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("results differ between 1 and 8 workers")
+	}
+	var md1, md8, csv1, csv8 bytes.Buffer
+	if err := WriteMarkdown(&md1, "t", serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarkdown(&md8, "t", parallel); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv1, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv8, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(md1.Bytes(), md8.Bytes()) || !bytes.Equal(csv1.Bytes(), csv8.Bytes()) {
+		t.Fatal("emitted artifacts differ between worker counts")
+	}
+}
+
+func TestRunnerMatchesSerialMeasureSweep(t *testing.T) {
+	sizes := []int{2, 4, 8}
+	lengths := []int{4, 1024}
+	cfg := measure.Fast()
+	serial := measure.Sweep(machine.Paragon(), machine.OpGather, sizes, lengths, cfg)
+
+	sp := Spec{
+		Machines: []string{"Paragon"}, Ops: []machine.Op{machine.OpGather},
+		Sizes: sizes, Lengths: lengths, Config: cfg,
+	}
+	scns, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := ToDataset((&Runner{Workers: 4}).Run(scns))
+	if !reflect.DeepEqual(serial.Points, sharded.Points) {
+		t.Fatalf("sharded sweep diverged from serial measure.Sweep:\n%v\nvs\n%v",
+			sharded.Points, serial.Points)
+	}
+}
+
+func TestRunnerCacheRoundTrip(t *testing.T) {
+	scns := testScenarios(t)
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := (&Runner{Workers: 4, Cache: cache}).Run(scns)
+	for _, r := range cold {
+		if r.Cached {
+			t.Fatalf("%s: cached on a cold run", r.Scenario.ID())
+		}
+	}
+	warm := (&Runner{Workers: 4, Cache: cache}).Run(scns)
+	for i, r := range warm {
+		if !r.Cached {
+			t.Fatalf("%s: not cached on a warm run", r.Scenario.ID())
+		}
+		if r.Sample != cold[i].Sample {
+			t.Fatalf("%s: cache returned different sample", r.Scenario.ID())
+		}
+	}
+}
+
+func TestCacheKeyDependsOnCalibrationAndConfig(t *testing.T) {
+	sc := Scenario{Machine: "SP2", Op: machine.OpBroadcast, Algorithm: DefaultAlgorithm,
+		P: 4, M: 64, Config: tinyCfg}
+	sp2 := Fingerprint(machine.SP2())
+	if sp2 != Fingerprint(machine.SP2()) {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if sp2 == Fingerprint(machine.T3D()) {
+		t.Fatal("distinct machines share a fingerprint")
+	}
+	k := sc.Key(sp2)
+	if k != sc.Key(sp2) {
+		t.Fatal("key is not deterministic")
+	}
+	if k == sc.Key(Fingerprint(machine.T3D())) {
+		t.Fatal("key ignores the calibration fingerprint")
+	}
+	reseeded := sc
+	reseeded.Config.Seed++
+	if k == reseeded.Key(sp2) {
+		t.Fatal("key ignores the measurement config")
+	}
+}
+
+func TestCacheIgnoresCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := measure.Sample{Machine: "SP2", Op: machine.OpBroadcast, P: 4, M: 64, Micros: 12.5}
+	if err := cache.Put("deadbeef", "id", s); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cache.Get("deadbeef"); !ok || got != s {
+		t.Fatalf("Get = %+v, %v; want stored sample", got, ok)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get("deadbeef"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// A syntactically valid entry stored under the wrong name must not
+	// satisfy a different key.
+	if err := cache.Put("feedface", "id", s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "feedface.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cafebabe.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get("cafebabe"); ok {
+		t.Fatal("entry with mismatched key served as a hit")
+	}
+}
+
+func TestNilCacheIsNoOp(t *testing.T) {
+	c, err := OpenCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Fatal("empty dir should disable caching")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if err := c.Put("k", "id", measure.Sample{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestAlgorithmsAndWinCounts(t *testing.T) {
+	mk := func(alg string, p, m int, micros float64) Result {
+		return Result{
+			Scenario: Scenario{Machine: "SP2", Op: machine.OpAlltoall, Algorithm: alg, P: p, M: m},
+			Sample:   measure.Sample{Micros: micros},
+		}
+	}
+	results := []Result{
+		mk("pairwise", 4, 64, 10), mk("bruck", 4, 64, 8),
+		mk("pairwise", 8, 64, 20), mk("bruck", 8, 64, 30),
+		mk("pairwise", 16, 64, 5), // single variant: no decision
+	}
+	ds := BestAlgorithms(results)
+	if len(ds) != 2 {
+		t.Fatalf("got %d decisions, want 2", len(ds))
+	}
+	if ds[0].Best != "bruck" || ds[0].RunnerUp != "pairwise" || ds[0].Margin() != 10.0/8 {
+		t.Fatalf("p=4 decision wrong: %+v", ds[0])
+	}
+	if ds[1].Best != "pairwise" || ds[1].RunnerUpMicros != 30 {
+		t.Fatalf("p=8 decision wrong: %+v", ds[1])
+	}
+	wc := WinCounts(ds)
+	if len(wc) != 2 || wc[0].Wins != 1 || wc[0].Points != 2 {
+		t.Fatalf("win counts wrong: %+v", wc)
+	}
+}
+
+func TestToDatasetPreservesGridOrder(t *testing.T) {
+	scns := []Scenario{
+		{Machine: "SP2", Op: machine.OpBroadcast, P: 2, M: 4},
+		{Machine: "SP2", Op: machine.OpBroadcast, P: 2, M: 16},
+		{Machine: "SP2", Op: machine.OpBroadcast, P: 4, M: 4},
+	}
+	var results []Result
+	for i, sc := range scns {
+		results = append(results, Result{Scenario: sc, Sample: measure.Sample{Micros: float64(i + 1)}})
+	}
+	d := ToDataset(results)
+	if len(d.Points) != 3 {
+		t.Fatalf("got %d points", len(d.Points))
+	}
+	if v, ok := d.At(4, 4); !ok || v != 3 {
+		t.Fatalf("At(4,4) = %v, %v", v, ok)
+	}
+}
