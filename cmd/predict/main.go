@@ -1,12 +1,16 @@
-// Command predict evaluates the paper's closed-form timing expressions
-// analytically — the use the paper proposes for them: estimating
-// communication overhead, ranking machines, and locating crossovers
-// without running anything.
+// Command predict evaluates closed-form timing expressions analytically
+// — the use the paper proposes for them: estimating communication
+// overhead, ranking machines, and locating crossovers without running
+// anything. The expression set is pluggable through the estimation
+// backends: the paper's published Table 3 (default) or expressions
+// recalibrated from the simulator, optionally persisted in a sweep
+// cache directory so recalibration happens once.
 //
 // Usage:
 //
 //	predict -op alltoall -p 64 -m 512
 //	predict -op broadcast -p 32 -m 65536 -crossover SP2,Paragon
+//	predict -backend calibrated -cache .sweepcache -op alltoall -p 64 -m 512
 package main
 
 import (
@@ -15,8 +19,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -25,13 +31,19 @@ func main() {
 		p         = flag.Int("p", 64, "machine size (nodes)")
 		m         = flag.Int("m", 1024, "message length per node pair (bytes)")
 		crossover = flag.String("crossover", "", "pair \"A,B\": message size where B overtakes A")
+		backendF  = flag.String("backend", "paper", `expression source: "paper" (Table 3) or "calibrated" (refit from the simulator)`)
+		cacheDir  = flag.String("cache", "", "sweep cache directory persisting calibrated expressions")
 	)
 	flag.Parse()
 
-	pr := model.FromPaper()
 	op := machine.Op(*opName)
-	if _, ok := pr.Expression("T3D", op); !ok {
+	if _, ok := model.FromPaper().Expression("T3D", op); !ok {
 		fmt.Fprintf(os.Stderr, "predict: %q is not a Table 3 operation\n", *opName)
+		os.Exit(2)
+	}
+	pr, label, err := predictor(*backendF, op, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
 		os.Exit(2)
 	}
 
@@ -39,7 +51,7 @@ func main() {
 	if op == machine.OpBarrier {
 		msg = 0
 	}
-	fmt.Printf("%s  p=%d  m=%d bytes (paper Table 3 expressions)\n", op, *p, msg)
+	fmt.Printf("%s  p=%d  m=%d bytes (%s)\n", op, *p, msg, label)
 	for _, mach := range pr.Rank(op, msg, *p) {
 		e, _ := pr.Expression(mach, op)
 		fmt.Printf("  %-8s T=%12.1f µs   T0=%10.1f µs   R∞=%8.0f MB/s   %s\n",
@@ -59,5 +71,27 @@ func main() {
 		} else {
 			fmt.Printf("crossover: %s never overtakes %s for m ≤ 1 MB (p=%d)\n", b, a, *p)
 		}
+	}
+}
+
+// predictor resolves the expression set behind the requested backend.
+func predictor(backend string, op machine.Op, cacheDir string) (*model.Predictor, string, error) {
+	switch backend {
+	case "paper", "":
+		return model.FromPaper(), "paper Table 3 expressions", nil
+	case "calibrated":
+		cache, err := sweep.OpenCache(cacheDir)
+		if err != nil {
+			return nil, "", err
+		}
+		cal := &estimate.Calibrated{}
+		if cache != nil {
+			cal.Store = cache
+		}
+		fmt.Fprintln(os.Stderr, "predict: calibrating from the simulator (cached fits are reused) ...")
+		pr := cal.Predictor(machine.All(), []machine.Op{op})
+		return pr, "expressions recalibrated from the simulator", nil
+	default:
+		return nil, "", fmt.Errorf("unknown backend %q (want paper or calibrated)", backend)
 	}
 }

@@ -2,17 +2,27 @@
 // operations × algorithm variants × machine sizes × message lengths —
 // through the sharded sweep engine and emits markdown and CSV reports.
 //
+// The grid can be answered by any estimation backend:
+//
+//	-backend sim         the discrete-event simulator (slow, exact; default)
+//	-backend analytic    the paper's Table 3 expressions in closed form (instant)
+//	-backend calibrated  expressions fitted from a seeded sim sweep, then
+//	                     served in closed form (measure once, predict forever)
+//
 // The default grid covers all three machines, the paper's seven
 // operations, every registered algorithm variant, the paper's
 // factor-of-four message lengths, and two machine sizes: several
 // hundred scenarios, sharded across all CPU cores. A content-keyed
-// cache makes repeated runs near-instant and survives preset edits
-// (stale entries simply stop matching).
+// cache makes repeated runs near-instant and survives preset edits and
+// backend switches (stale entries simply stop matching); it also
+// persists the calibrated backend's fitted expressions.
 //
 // Usage:
 //
 //	sweep                                    # default grid, report to stdout
 //	sweep -cache .sweepcache                 # warm runs are near-instant
+//	sweep -backend calibrated -cache .sweepcache
+//	sweep -validate                          # sim vs calibrated error report
 //	sweep -machines SP2,T3D -ops alltoall -algs all -p 8,32,64
 //	sweep -algs default -p 2,4,8,16,32,64,128 -out grid.md -csv grid.csv
 package main
@@ -20,11 +30,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/sweep"
@@ -37,8 +49,10 @@ func main() {
 		algs     = flag.String("algs", "all", `algorithm variants: "all", "default", or a comma-separated list`)
 		sizesF   = flag.String("p", "8,32", "comma-separated machine sizes")
 		lengthsF = flag.String("m", "", "comma-separated message lengths in bytes (default: the paper's sweep)")
+		backendF = flag.String("backend", "sim", "estimation backend: sim, analytic, or calibrated")
+		validate = flag.Bool("validate", false, "run sim and the -backend estimator side by side and report relative errors (sim -backend implies calibrated)")
 		workers  = flag.Int("workers", 0, "worker shards (0 = all cores)")
-		cacheDir = flag.String("cache", "", "directory for the content-keyed result cache")
+		cacheDir = flag.String("cache", "", "directory for the content-keyed result and expression cache")
 		outPath  = flag.String("out", "-", `markdown report path ("-" = stdout)`)
 		csvPath  = flag.String("csv", "", "also write per-scenario CSV here")
 		seed     = flag.Int64("seed", 1, "base simulation seed")
@@ -92,20 +106,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *validate {
+		runValidate(scns, spec, *backendF, cache, *workers, *outPath, *csvPath, *quiet)
+		return
+	}
+
+	backend, err := buildBackend(*backendF, spec, cfg, cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	if err := checkAnalyticCoverage(backend, scns); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
-	runner := &sweep.Runner{Workers: *workers, Cache: cache}
+	runner := &sweep.Runner{Workers: *workers, Cache: cache, Backend: backend}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "sweep: %d scenarios\n", len(scns))
-		step := len(scns) / 20
-		if step < 1 {
-			step = 1
-		}
-		runner.OnProgress = func(p sweep.Progress) {
-			if p.Done%step == 0 || p.Done == p.Total {
-				fmt.Fprintf(os.Stderr, "  %d/%d (%d%%) %s\n",
-					p.Done, p.Total, 100*p.Done/p.Total, time.Since(start).Round(time.Second))
-			}
-		}
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios via the %s backend\n", len(scns), backend.Name())
+		runner.OnProgress = progressPrinter(len(scns), start)
 	}
 	results := runner.Run(scns)
 	cached := 0
@@ -119,21 +139,16 @@ func main() {
 			len(results), cached, time.Since(start).Round(time.Millisecond))
 	}
 
-	title := fmt.Sprintf("Scenario sweep — %d scenarios", len(results))
-	if *outPath == "-" {
-		err = sweep.WriteMarkdown(os.Stdout, title, results)
-	} else {
-		err = writeFile(*outPath, func(f *os.File) error {
-			return sweep.WriteMarkdown(f, title, results)
-		})
-	}
-	if err != nil {
+	title := fmt.Sprintf("Scenario sweep — %d scenarios (%s backend)", len(results), backend.Name())
+	if err := emitTo(*outPath, func(w io.Writer) error {
+		return sweep.WriteMarkdown(w, title, results)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 	if *csvPath != "" {
-		if err := writeFile(*csvPath, func(f *os.File) error {
-			return sweep.WriteCSV(f, results)
+		if err := emitTo(*csvPath, func(w io.Writer) error {
+			return sweep.WriteCSV(w, results)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
@@ -141,7 +156,148 @@ func main() {
 	}
 }
 
-func writeFile(path string, fill func(*os.File) error) error {
+// runValidate executes the grid under sim and a closed-form backend and
+// emits the relative-error validation report (plus, with -csv, the
+// per-scenario rows of both passes, distinguished by the backend
+// column).
+func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool) {
+	if backendName == "sim" || backendName == "" {
+		backendName = "calibrated" // validating sim against itself is vacuous
+	}
+	candidate, err := buildBackend(backendName, spec, scnConfig(scns, spec), cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	if err := checkAnalyticCoverage(candidate, scns); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
+	progress := func(string) func(sweep.Progress) { return nil }
+	if !quiet {
+		progress = func(pass string) func(sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "sweep: validate: %s pass over %d scenarios\n", pass, len(scns))
+			return progressPrinter(len(scns), time.Now())
+		}
+	}
+
+	simStart := time.Now()
+	simResults := (&sweep.Runner{Workers: workers, Cache: cache, Backend: estimate.Sim{},
+		OnProgress: progress("sim")}).Run(scns)
+	simSecs := time.Since(simStart).Seconds()
+
+	estStart := time.Now()
+	estResults := (&sweep.Runner{Workers: workers, Cache: cache, Backend: candidate,
+		OnProgress: progress(candidate.Name())}).Run(scns)
+	estSecs := time.Since(estStart).Seconds()
+
+	// A second pass with the calibration already in memory is the
+	// serving-speed number the calibrated backend exists for.
+	warmStart := time.Now()
+	(&sweep.Runner{Workers: workers, Backend: candidate}).Run(scns)
+	warmSecs := time.Since(warmStart).Seconds()
+
+	pairs, err := sweep.Pair(simResults, estResults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	timing := &sweep.ValidationTiming{
+		Backend:    candidate.Name(),
+		RefSeconds: simSecs, EstSeconds: estSecs, WarmSeconds: warmSecs,
+		RefCached: countCached(simResults), EstCached: countCached(estResults),
+	}
+	title := fmt.Sprintf("Validation — %s vs sim over %d scenarios", candidate.Name(), len(scns))
+	if err := emitTo(outPath, func(w io.Writer) error {
+		return sweep.WriteValidation(w, title, pairs, timing)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if csvPath != "" {
+		both := append(append([]sweep.Result(nil), simResults...), estResults...)
+		if err := emitTo(csvPath, func(w io.Writer) error {
+			return sweep.WriteCSV(w, both)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func countCached(results []sweep.Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Cached {
+			n++
+		}
+	}
+	return n
+}
+
+// buildBackend constructs the named estimation backend. The calibrated
+// backend calibrates over the grid's own sizes, lengths, and
+// methodology, so its fits interpolate exactly where they are asked.
+func buildBackend(name string, spec sweep.Spec, cfg measure.Config, cache *sweep.Cache) (estimate.Backend, error) {
+	switch name {
+	case "sim", "":
+		return estimate.Sim{}, nil
+	case "analytic":
+		return estimate.PaperAnalytic(), nil
+	case "calibrated":
+		c := &estimate.Calibrated{Config: cfg, Sizes: spec.Sizes, Lengths: spec.Lengths}
+		if cache != nil {
+			c.Store = cache
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want sim, analytic, or calibrated)", name)
+	}
+}
+
+// scnConfig returns the methodology the scenarios run under (the
+// spec's, unless expansion defaulted it).
+func scnConfig(scns []sweep.Scenario, spec sweep.Spec) measure.Config {
+	if spec.Config != (measure.Config{}) {
+		return spec.Config
+	}
+	return scns[0].Config
+}
+
+// checkAnalyticCoverage rejects grids the paper's Table 3 cannot
+// answer (e.g. allgather) before the runner panics mid-sweep.
+func checkAnalyticCoverage(b estimate.Backend, scns []sweep.Scenario) error {
+	a, ok := b.(*estimate.Analytic)
+	if !ok {
+		return nil
+	}
+	for _, sc := range scns {
+		if !a.Covers(sc.Machine, sc.Op) {
+			return fmt.Errorf("the analytic expression set has no %s/%s entry", sc.Machine, sc.Op)
+		}
+	}
+	return nil
+}
+
+func progressPrinter(total int, start time.Time) func(sweep.Progress) {
+	step := total / 20
+	if step < 1 {
+		step = 1
+	}
+	return func(p sweep.Progress) {
+		if p.Done%step == 0 || p.Done == p.Total {
+			fmt.Fprintf(os.Stderr, "  %d/%d (%d%%) %s\n",
+				p.Done, p.Total, 100*p.Done/p.Total, time.Since(start).Round(time.Second))
+		}
+	}
+}
+
+// emitTo writes through fill to path, "-" meaning stdout.
+func emitTo(path string, fill func(io.Writer) error) error {
+	if path == "-" {
+		return fill(os.Stdout)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

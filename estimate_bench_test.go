@@ -1,0 +1,76 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/sweep"
+)
+
+// estimateGrid expands cmd/sweep's default grid — all three machines ×
+// the paper's seven operations × every registered algorithm variant ×
+// the paper's message lengths × p ∈ {8, 32}; 788 scenarios — under the
+// cheap benchmark methodology.
+func estimateGrid(tb testing.TB) []sweep.Scenario {
+	tb.Helper()
+	spec := sweep.Spec{
+		Algorithms: sweep.AllAlgorithms(machine.Ops),
+		Sizes:      []int{8, 32},
+		Config:     benchCfg,
+	}
+	scns, err := spec.Expand()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return scns
+}
+
+// runGrid pushes the grid through the sweep runner under one backend
+// and attaches the serving throughput as a metric.
+func runGrid(b *testing.B, scns []sweep.Scenario, backend estimate.Backend) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		(&sweep.Runner{Backend: backend}).Run(scns)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(scns))*float64(b.N)/secs, "estimates/s")
+	}
+}
+
+// --- Estimate throughput: the three backends over the default grid ---
+// Run with `go test -bench BenchmarkEstimateThroughput -benchtime 1x`
+// for one full-grid pass per backend; CI records these non-gating.
+
+func BenchmarkEstimateThroughput(b *testing.B) {
+	scns := estimateGrid(b)
+
+	b.Run("sim", func(b *testing.B) {
+		runGrid(b, scns, estimate.Sim{})
+	})
+
+	b.Run("analytic", func(b *testing.B) {
+		runGrid(b, scns, estimate.PaperAnalytic())
+	})
+
+	b.Run("calibrated-cold", func(b *testing.B) {
+		// Each iteration calibrates from scratch: the measure-then-fit
+		// cost the expression cache amortizes away in real use.
+		for i := 0; i < b.N; i++ {
+			backend := &estimate.Calibrated{Config: benchCfg, Sizes: []int{8, 32}}
+			(&sweep.Runner{Backend: backend}).Run(scns)
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(len(scns))*float64(b.N)/secs, "estimates/s")
+		}
+	})
+
+	b.Run("calibrated-warm", func(b *testing.B) {
+		// One shared calibration, then closed-form serving — the hot
+		// path the ROADMAP's prediction-service north star cares about.
+		backend := &estimate.Calibrated{Config: benchCfg, Sizes: []int{8, 32}}
+		(&sweep.Runner{Backend: backend}).Run(scns)
+		b.ResetTimer()
+		runGrid(b, scns, backend)
+	})
+}

@@ -2,11 +2,16 @@
 // at one configuration and reproduce the paper's headline observations —
 // the T3D's across-the-board lead, its 3 µs hardwired barrier, and the
 // SP2/Paragon ranking flip between short and long messages.
+//
+// The comparison loop goes through the estimate package, so swapping
+// the exact simulator for the instant analytic backend is a one-line
+// change (see the closing Table 3 cross-check).
 package main
 
 import (
 	"fmt"
 
+	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/measure"
 )
@@ -14,31 +19,34 @@ import (
 func main() {
 	const p = 32
 	cfg := measure.Fast()
+	sim := estimate.Sim{}
 
 	for _, m := range []int{16, 65536} {
 		fmt.Printf("== p=%d nodes, m=%d bytes per pair ==\n", p, m)
 		fmt.Printf("  %-10s %12s %12s %12s   winner\n", "operation", "SP2", "T3D", "Paragon")
 		for _, op := range machine.Ops {
-			msg := m
-			if op == machine.OpBarrier {
-				msg = 0
-			}
+			ests := estimate.Compare(sim, machine.All(), op, p, m, cfg)
 			times := map[string]float64{}
-			for _, mach := range machine.All() {
-				times[mach.Name()] = measure.MeasureOp(mach, op, p, msg, cfg).Micros
-			}
-			winner := "SP2"
-			for _, name := range []string{"T3D", "Paragon"} {
-				if times[name] < times[winner] {
-					winner = name
-				}
+			for _, e := range ests {
+				times[e.Sample.Machine] = e.Sample.Micros
 			}
 			fmt.Printf("  %-10s %10.1fµs %10.1fµs %10.1fµs   %s\n",
-				op, times["SP2"], times["T3D"], times["Paragon"], winner)
+				op, times["SP2"], times["T3D"], times["Paragon"],
+				estimate.Fastest(ests).Sample.Machine)
 		}
 		fmt.Println()
 	}
 	fmt.Println("Short messages: the SP2 leads the Paragon (NX startup).")
 	fmt.Println("Long messages: the Paragon overtakes the SP2 everywhere but reduce.")
 	fmt.Println("The T3D leads almost everything — hardwired barrier, BLT, fast messaging.")
+
+	// The same comparison answered without simulating anything: the
+	// paper's Table 3 expressions through the analytic backend.
+	analytic := estimate.PaperAnalytic()
+	fmt.Println("\nTable 3 cross-check (analytic backend, no simulation):")
+	for _, m := range []int{16, 65536} {
+		best := estimate.Fastest(estimate.Compare(analytic, machine.All(), machine.OpAlltoall, p, m, cfg))
+		fmt.Printf("  alltoall m=%-6d → %s predicts %s at %.1f µs\n",
+			m, estimate.BackendAnalytic, best.Sample.Machine, best.Sample.Micros)
+	}
 }

@@ -5,6 +5,7 @@ package main
 import (
 	"fmt"
 
+	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/mpi"
@@ -54,8 +55,16 @@ func main() {
 	fmt.Printf("T3D/16: broadcast(4KB) + barrier finished at %v\n", bcastDone)
 	fmt.Printf("T3D/16: alltoall(1KB) + barrier finished at  %v\n", alltoallDone)
 
-	// The measurement harness applies the paper's full procedure
-	// (warm-up discard, k-iteration loop, max-reduce over ranks).
-	s := measure.MeasureOp(mach, machine.OpAlltoall, 16, 1024, measure.Paper())
-	fmt.Printf("paper procedure: T(1KB, 16) = %.1f µs for the T3D total exchange\n", s.Micros)
+	// The estimation backends answer the same question two ways: the
+	// sim backend applies the paper's full measurement procedure
+	// (warm-up discard, k-iteration loop, max-reduce over ranks); the
+	// analytic backend evaluates the paper's Table 3 expression in
+	// closed form, no simulation at all.
+	algs := mpi.DefaultAlgorithms(mach)
+	measured := estimate.Sim{}.Estimate(mach, machine.OpAlltoall, algs, 16, 1024, measure.Paper())
+	predicted := estimate.PaperAnalytic().Estimate(mach, machine.OpAlltoall, algs, 16, 1024, measure.Paper())
+	fmt.Printf("paper procedure (sim backend):      T(1KB, 16) = %.1f µs for the T3D total exchange\n",
+		measured.Sample.Micros)
+	fmt.Printf("Table 3 fit (analytic backend):     T(1KB, 16) = %.1f µs — predicted without simulating\n",
+		predicted.Sample.Micros)
 }

@@ -8,9 +8,11 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/estimate"
 	"repro/internal/fit"
 	"repro/internal/machine"
 	"repro/internal/measure"
+	"repro/internal/mpi"
 	"repro/internal/paper"
 	"repro/internal/report"
 )
@@ -228,7 +230,7 @@ func (e *Evaluator) Fig5() []Fig5Row {
 
 // bandwidthAt estimates R∞(p) = f(m,p)/(s(p)·m) from measured slopes.
 func (e *Evaluator) bandwidthAt(m *machine.Machine, op machine.Op, p int) float64 {
-	d := measure.Sweep(m, op, []int{p}, e.lengths, e.cfg)
+	d := estimate.BuildDataset(m, op, mpi.DefaultAlgorithms(m), []int{p}, e.lengths, e.cfg)
 	base, _ := d.At(p, e.lengths[0])
 	var xs, ys []float64
 	for _, msg := range e.lengths[1:] {
@@ -255,7 +257,7 @@ func (e *Evaluator) Table3() map[string]map[machine.Op]fit.Expression {
 			if op == machine.OpBarrier {
 				lengths = []int{0}
 			}
-			d := measure.Sweep(m, op, e.sizesFor(m), lengths, e.cfg)
+			d := estimate.BuildDataset(m, op, mpi.DefaultAlgorithms(m), e.sizesFor(m), lengths, e.cfg)
 			row[op] = fit.TwoStage(d, paper.StartupShape(op), paper.PerByteShape(m.Name(), op))
 		}
 		out[m.Name()] = row

@@ -1,0 +1,74 @@
+package estimate
+
+import (
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/model"
+	"repro/internal/mpi"
+)
+
+// BackendAnalytic names the closed-form expression backend.
+const BackendAnalytic = "analytic"
+
+// PaperProvenance is the provenance of the paper's published Table 3.
+const PaperProvenance = "paper-table3"
+
+// Analytic serves closed-form estimates from a fixed expression set —
+// paper Table 3 or any refit — via model.Predictor. It is deterministic
+// and instant: no cluster is built and no event is simulated. The
+// expressions model the vendor-default algorithms the paper measured,
+// so the algorithm table is ignored; use Calibrated to distinguish
+// registry variants.
+type Analytic struct {
+	pr         *model.Predictor
+	provenance string
+}
+
+// NewAnalytic wraps a predictor. provenance must identify the
+// expression set (see Backend.Provenance); use PaperAnalytic for the
+// published table.
+func NewAnalytic(pr *model.Predictor, provenance string) *Analytic {
+	return &Analytic{pr: pr, provenance: provenance}
+}
+
+// PaperAnalytic returns the backend over the paper's Table 3.
+func PaperAnalytic() *Analytic {
+	return NewAnalytic(model.FromPaper(), PaperProvenance)
+}
+
+// Name returns "analytic".
+func (*Analytic) Name() string { return BackendAnalytic }
+
+// Provenance identifies the expression set.
+func (a *Analytic) Provenance() string { return a.provenance }
+
+// Predictor exposes the wrapped predictor for ranking, crossover, and
+// workload analyses.
+func (a *Analytic) Predictor() *model.Predictor { return a.pr }
+
+// Covers reports whether the expression set has an entry for
+// (mach, op); Estimate panics outside that set, matching the model
+// package's contract.
+func (a *Analytic) Covers(mach string, op machine.Op) bool {
+	_, ok := a.pr.Expression(mach, op)
+	return ok
+}
+
+// Estimate evaluates T(m, p) in closed form. All Sample statistics
+// carry the single predicted value, and cfg is ignored.
+func (a *Analytic) Estimate(mach *machine.Machine, op machine.Op, _ mpi.Algorithms, p, m int, _ measure.Config) Estimate {
+	t := a.pr.Time(mach.Name(), op, m, p)
+	return closedForm(BackendAnalytic, mach.Name(), op, p, m, t)
+}
+
+// closedForm builds the Estimate of a deterministic prediction.
+func closedForm(backend, mach string, op machine.Op, p, m int, t float64) Estimate {
+	return Estimate{
+		Sample: measure.Sample{
+			Machine: mach, Op: op, P: p, M: m,
+			Micros: t, MinMicros: t, MaxMicros: t,
+			RankMin: t, RankMean: t,
+		},
+		Backend: backend,
+	}
+}

@@ -1,0 +1,223 @@
+package estimate
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/paper"
+)
+
+// BackendCalibrated names the measure-then-model backend.
+const BackendCalibrated = "calibrated"
+
+// calibrationVersion is baked into expression keys and the backend
+// provenance; bump it when the calibration procedure changes in a way
+// the key fields do not capture.
+const calibrationVersion = 1
+
+// ExpressionStore persists fitted expressions under content keys, so a
+// calibration survives across processes. *sweep.Cache implements it;
+// a nil store just refits per process.
+type ExpressionStore interface {
+	// GetExpression returns the stored expression for key, if present
+	// and intact.
+	GetExpression(key string) (fit.Expression, bool)
+	// PutExpression stores an expression under key; id is a
+	// human-readable label for cache inspection.
+	PutExpression(key, id string, e fit.Expression) error
+}
+
+// Calibrated is the measure-then-model backend: on the first request
+// for a (machine, op, algorithm) triple it runs a small seeded sim
+// sweep over the calibration grid, fits a Table 3-style expression with
+// fit.TwoStage, persists it through Store (when set), and from then on
+// serves that triple in closed form at analytic speed. Unlike Analytic
+// it distinguishes registry algorithm variants, because each variant is
+// calibrated separately.
+//
+// The zero value calibrates over the paper's grid with the fast
+// methodology. Fields must not be mutated after the first Estimate
+// call; Estimate itself is safe for concurrent use.
+type Calibrated struct {
+	// Config is the calibration methodology; the zero value means
+	// measure.Fast().
+	Config measure.Config
+	// Sizes are the calibration machine sizes (capped per machine);
+	// nil means paper.MachineSizes. Matching the evaluation grid's
+	// sizes makes the startup fit exact at those sizes.
+	Sizes []int
+	// Lengths are the calibration message lengths; nil means
+	// paper.MessageLengths. Barriers always calibrate at length 0.
+	Lengths []int
+	// Store, when non-nil, persists fitted expressions across
+	// processes under content keys.
+	Store ExpressionStore
+
+	mu  sync.Mutex
+	cal map[calTriple]*calEntry
+}
+
+type calTriple struct {
+	mach string
+	op   machine.Op
+	alg  string
+}
+
+type calEntry struct {
+	once sync.Once
+	expr fit.Expression
+}
+
+// Name returns "calibrated".
+func (*Calibrated) Name() string { return BackendCalibrated }
+
+// Provenance hashes the calibration spec (grid and methodology), so
+// sweep-cache entries derived from one calibration never serve another.
+func (c *Calibrated) Provenance() string {
+	blob, err := json.Marshal(struct {
+		V       int            `json:"v"`
+		Sizes   []int          `json:"sizes"`
+		Lengths []int          `json:"lengths"`
+		Config  measure.Config `json:"config"`
+	}{calibrationVersion, c.Sizes, c.Lengths, c.config()})
+	if err != nil {
+		panic(fmt.Sprintf("estimate: calibrated provenance: %v", err))
+	}
+	return hashJSON(blob)
+}
+
+// Estimate serves (op, algs, p, m) on mach from the triple's fitted
+// expression, calibrating it first if this is the triple's first use.
+func (c *Calibrated) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, _ measure.Config) Estimate {
+	e := c.Expression(mach, op, algs.Get(op))
+	perByte := e.EvalPerByte(p)
+	if perByte < 0 {
+		// Clamp like model.Predictor.Time: small negative fitted terms
+		// go non-physical outside the calibrated range.
+		perByte = 0
+	}
+	t := e.EvalStartup(p) + perByte*float64(m)
+	return closedForm(BackendCalibrated, mach.Name(), op, p, m, t)
+}
+
+// Expression returns the fitted expression for one (machine, op,
+// algorithm) triple, calibrating or loading it on first use.
+func (c *Calibrated) Expression(mach *machine.Machine, op machine.Op, alg string) fit.Expression {
+	k := calTriple{mach.Name(), op, alg}
+	c.mu.Lock()
+	if c.cal == nil {
+		c.cal = map[calTriple]*calEntry{}
+	}
+	entry, ok := c.cal[k]
+	if !ok {
+		entry = &calEntry{}
+		c.cal[k] = entry
+	}
+	c.mu.Unlock()
+	entry.once.Do(func() { entry.expr = c.calibrate(mach, op, alg) })
+	return entry.expr
+}
+
+// Predictor calibrates every (machine, op) with the vendor-default
+// algorithm table and returns an analytic predictor over the fits —
+// the regenerated-Table 3 counterpart of model.FromPaper.
+func (c *Calibrated) Predictor(machines []*machine.Machine, ops []machine.Op) *model.Predictor {
+	exprs := map[string]map[machine.Op]fit.Expression{}
+	for _, mach := range machines {
+		algs := mpi.DefaultAlgorithms(mach)
+		row := map[machine.Op]fit.Expression{}
+		for _, op := range ops {
+			row[op] = c.Expression(mach, op, algs.Get(op))
+		}
+		exprs[mach.Name()] = row
+	}
+	return model.New(exprs)
+}
+
+// calibrate runs the triple's calibration sweep (or loads a stored fit)
+// and returns the expression.
+func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string) fit.Expression {
+	sizes := c.sizesFor(mach)
+	lengths := c.lengthsFor(op)
+	cfg := c.config()
+
+	var key string
+	if c.Store != nil {
+		key = expressionKey(mach, op, alg, sizes, lengths, cfg)
+		if e, ok := c.Store.GetExpression(key); ok {
+			return e
+		}
+	}
+	algs := mpi.DefaultAlgorithms(mach)
+	if alg != "" && alg != "default" {
+		algs = algs.With(op, alg)
+	}
+	d := BuildDataset(mach, op, algs, sizes, lengths, cfg)
+	e := fit.TwoStage(d, paper.StartupShape(op), paper.PerByteShape(mach.Name(), op))
+	if c.Store != nil {
+		id := fmt.Sprintf("%s/%s[%s] calibration", mach.Name(), op, alg)
+		_ = c.Store.PutExpression(key, id, e) // best-effort, like sample caching
+	}
+	return e
+}
+
+func (c *Calibrated) config() measure.Config {
+	if c.Config == (measure.Config{}) {
+		return measure.Fast()
+	}
+	return c.Config
+}
+
+func (c *Calibrated) sizesFor(mach *machine.Machine) []int {
+	sizes := c.Sizes
+	if len(sizes) == 0 {
+		sizes = paper.MachineSizes(mach.Name())
+	}
+	out := make([]int, 0, len(sizes))
+	for _, p := range sizes {
+		if p >= 2 && p <= mach.MaxNodes() {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		panic(fmt.Sprintf("estimate: no calibration sizes within 2..%d for %s",
+			mach.MaxNodes(), mach.Name()))
+	}
+	return out
+}
+
+func (c *Calibrated) lengthsFor(op machine.Op) []int {
+	if op == machine.OpBarrier {
+		return []int{0}
+	}
+	if len(c.Lengths) == 0 {
+		return paper.MessageLengths()
+	}
+	return c.Lengths
+}
+
+// expressionKey is the content key of one triple's fit: identical
+// calibration inputs — machine constants, operation, algorithm, grid,
+// methodology — always produce the same key, and any drift produces a
+// different one.
+func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, lengths []int, cfg measure.Config) string {
+	blob, err := json.Marshal(struct {
+		V           int            `json:"v"`
+		Calibration string         `json:"calibration"`
+		Op          machine.Op     `json:"op"`
+		Alg         string         `json:"alg"`
+		Sizes       []int          `json:"sizes"`
+		Lengths     []int          `json:"lengths"`
+		Config      measure.Config `json:"config"`
+	}{calibrationVersion, Fingerprint(mach), op, alg, sizes, lengths, cfg})
+	if err != nil {
+		panic(fmt.Sprintf("estimate: expression key %s/%s[%s]: %v", mach.Name(), op, alg, err))
+	}
+	return hashJSON(blob)
+}

@@ -1,0 +1,128 @@
+// Package estimate unifies the repository's two prediction paths — the
+// discrete-event simulator and the analytic evaluation of fitted timing
+// expressions — behind one pluggable Backend interface. The paper's
+// closing argument is exactly this split: measure once to fit the
+// Table 3 expressions, then predict collective performance at service
+// speed without rerunning the machine. Three backends implement it:
+//
+//   - Sim measures through the full §2 benchmark procedure on the
+//     simulated machine (slow, exact — the calibration and ground-truth
+//     route).
+//   - Analytic evaluates a fixed expression set (paper Table 3 or any
+//     regenerated fit) in closed form (instant, no simulation).
+//   - Calibrated fits expressions from a small seeded simulator sweep
+//     per (machine, op, algorithm) via fit.TwoStage, optionally
+//     persists them through a content-keyed ExpressionStore, and then
+//     serves at analytic speed with a measurable error bound.
+//
+// The sweep engine (internal/sweep) and the CLI tools accept any
+// Backend, so every scenario grid can be answered either exactly or at
+// serving speed from the same specs, caches, and reports.
+package estimate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// Estimate is one predicted or measured collective timing, tagged with
+// the backend that produced it. For measured (sim) estimates the Sample
+// carries the paper's full statistics; closed-form backends fill every
+// statistic with the single predicted value.
+type Estimate struct {
+	Sample  measure.Sample
+	Backend string // Name() of the producing backend
+}
+
+// Micros returns the headline time in µs.
+func (e Estimate) Micros() float64 { return e.Sample.Micros }
+
+// Backend is a pluggable estimation strategy. Implementations must be
+// safe for concurrent use: the sweep engine calls Estimate from many
+// worker goroutines.
+type Backend interface {
+	// Name is the stable backend identity ("sim", "analytic",
+	// "calibrated") used in reports and cache keys.
+	Name() string
+	// Provenance identifies the data the backend's numbers derive from
+	// (e.g. an expression-set or calibration-spec hash). It is folded
+	// into sweep-cache keys together with Name, so results from
+	// different backends or expression sets never cross-contaminate.
+	// It must change whenever the backend would produce different
+	// numbers for the same (machine, op, algs, p, m, cfg).
+	Provenance() string
+	// Estimate returns the time of one collective: op over algs on p
+	// nodes of mach with m bytes per pair, under methodology cfg
+	// (closed-form backends ignore cfg — their answer is exact).
+	Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate
+}
+
+// Fingerprint hashes a machine's full calibration-constant set (network
+// parameters, per-operation tunings, noise model — everything in
+// machine.Params). It is part of every sweep-cache and expression key,
+// so editing a preset silently invalidates all derived results.
+func Fingerprint(m *machine.Machine) string {
+	// encoding/json sorts map keys, so the Tunings map serializes
+	// deterministically.
+	blob, err := json.Marshal(m.Params())
+	if err != nil {
+		panic(fmt.Sprintf("estimate: fingerprint %s: %v", m.Name(), err))
+	}
+	return hashJSON(blob)
+}
+
+// hashJSON is the shared content-key digest: sha256 over a
+// deterministic JSON blob, hex-encoded.
+func hashJSON(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildDataset measures op across machine sizes and message lengths
+// under an explicit algorithm table and returns the dataset for curve
+// fitting — the measurement loop behind the Calibrated backend's
+// calibration routine (formerly measure.Sweep).
+func BuildDataset(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, sizes, lengths []int, cfg measure.Config) *fit.Dataset {
+	d := &fit.Dataset{}
+	for _, p := range sizes {
+		for _, m := range lengths {
+			s := measure.MeasureOpWith(mach, op, p, m, cfg, algs)
+			d.Add(p, m, s.Micros)
+		}
+	}
+	return d
+}
+
+// Compare estimates one collective configuration on several machines
+// under their vendor-default algorithm tables — the comparison loop the
+// examples and the paper's §9 ranking discussion share. Barrier
+// configurations are estimated with m = 0 regardless of m.
+func Compare(b Backend, machines []*machine.Machine, op machine.Op, p, m int, cfg measure.Config) []Estimate {
+	if op == machine.OpBarrier {
+		m = 0
+	}
+	out := make([]Estimate, 0, len(machines))
+	for _, mach := range machines {
+		out = append(out, b.Estimate(mach, op, mpi.DefaultAlgorithms(mach), p, m, cfg))
+	}
+	return out
+}
+
+// Fastest returns the estimate with the lowest headline time (the first
+// one on ties). It panics on an empty slice.
+func Fastest(ests []Estimate) Estimate {
+	best := ests[0]
+	for _, e := range ests[1:] {
+		if e.Sample.Micros < best.Sample.Micros {
+			best = e
+		}
+	}
+	return best
+}

@@ -1,0 +1,270 @@
+package estimate
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// tinyCfg keeps backend tests fast while preserving the methodology.
+var tinyCfg = measure.Config{Warmup: 1, K: 2, Reps: 1, Seed: 3}
+
+func TestSimMatchesMeasure(t *testing.T) {
+	mach := machine.T3D()
+	algs := mpi.DefaultAlgorithms(mach)
+	want := measure.MeasureOpWith(mach, machine.OpBroadcast, 8, 1024, tinyCfg, algs)
+	got := Sim{}.Estimate(mach, machine.OpBroadcast, algs, 8, 1024, tinyCfg)
+	if got.Sample != want {
+		t.Fatalf("sim backend = %+v, measure says %+v", got.Sample, want)
+	}
+	if got.Backend != BackendSim {
+		t.Fatalf("backend label %q", got.Backend)
+	}
+}
+
+func TestAnalyticMatchesModel(t *testing.T) {
+	a := PaperAnalytic()
+	mach := machine.SP2()
+	got := a.Estimate(mach, machine.OpAlltoall, mpi.DefaultAlgorithms(mach), 64, 512, tinyCfg)
+	want := model.FromPaper().Time("SP2", machine.OpAlltoall, 512, 64)
+	if got.Sample.Micros != want {
+		t.Fatalf("analytic = %v, model = %v", got.Sample.Micros, want)
+	}
+	// Closed-form estimates are point predictions: every statistic
+	// carries the same value.
+	s := got.Sample
+	if s.MinMicros != want || s.MaxMicros != want || s.RankMin != want || s.RankMean != want {
+		t.Fatalf("closed-form sample has spread: %+v", s)
+	}
+	if !a.Covers("SP2", machine.OpAlltoall) || a.Covers("SP2", machine.OpAllgather) {
+		t.Fatal("Covers disagrees with Table 3")
+	}
+}
+
+func TestBuildDatasetBuildsFullGrid(t *testing.T) {
+	mach := machine.T3D()
+	d := BuildDataset(mach, machine.OpBroadcast, mpi.DefaultAlgorithms(mach),
+		[]int{2, 4, 8}, []int{4, 256}, measure.Fast())
+	if len(d.Points) != 6 {
+		t.Fatalf("dataset has %d points, want 6", len(d.Points))
+	}
+	if s := d.Sizes(); len(s) != 3 || s[2] != 8 {
+		t.Fatalf("sizes %v", s)
+	}
+}
+
+// TestCalibratedRoundTrip is the fitted-expression round trip: the
+// expressions the Calibrated backend fits must reproduce the sim
+// dataset they were fitted from. At the calibration sizes the startup
+// fit is exact for the shortest message (TwoStage pins T0 there), and
+// across the lengths the affine-in-m model holds to a few percent.
+func TestCalibratedRoundTrip(t *testing.T) {
+	mach := machine.SP2()
+	sizes := []int{2, 8}
+	lengths := []int{4, 1024, 16384, 65536}
+	cal := &Calibrated{Config: tinyCfg, Sizes: sizes, Lengths: lengths}
+	algs := mpi.DefaultAlgorithms(mach)
+
+	for _, op := range []machine.Op{machine.OpBroadcast, machine.OpAlltoall, machine.OpGather} {
+		d := BuildDataset(mach, op, algs, sizes, lengths, tinyCfg)
+		var errs []float64
+		for _, pt := range d.Points {
+			est := cal.Estimate(mach, op, algs, pt.P, pt.M, tinyCfg)
+			re := (est.Sample.Micros - pt.Micros) / pt.Micros
+			if re < 0 {
+				re = -re
+			}
+			errs = append(errs, re)
+			if pt.M == lengths[0] && re > 0.02 {
+				// Two sizes, two-parameter form: the startup fit passes
+				// through the measured shortest-message points up to the
+				// deliberate s(p)·mMin offset (Expression.Eval applies
+				// the per-byte term to m, not m − mMin, like Table 3).
+				t.Errorf("%s p=%d m=%d: shortest-message error %.2f%% > 2%%",
+					op, pt.P, pt.M, 100*re)
+			}
+		}
+		if med := stats.Median(errs); med > 0.05 {
+			t.Errorf("%s: median round-trip error %.1f%% > 5%%", op, 100*med)
+		}
+	}
+}
+
+// TestCalibratedBarrierStartupOnly checks the barrier calibrates at
+// length 0 into a startup-only expression.
+func TestCalibratedBarrierStartupOnly(t *testing.T) {
+	mach := machine.T3D()
+	cal := &Calibrated{Config: tinyCfg, Sizes: []int{4, 16}}
+	e := cal.Expression(mach, machine.OpBarrier, mpi.DefaultAlgorithms(mach).Barrier)
+	if !e.StartupOnly() {
+		t.Fatalf("barrier expression has a per-byte term: %s", e)
+	}
+	got := cal.Estimate(mach, machine.OpBarrier, mpi.DefaultAlgorithms(mach), 16, 0, tinyCfg)
+	want := measure.MeasureOp(mach, machine.OpBarrier, 16, 0, tinyCfg).Micros
+	re := (got.Sample.Micros - want) / want
+	if re < 0 {
+		re = -re
+	}
+	if re > 0.05 {
+		t.Fatalf("hardware barrier estimate %.2f µs vs measured %.2f µs", got.Sample.Micros, want)
+	}
+}
+
+// TestCalibratedDistinguishesAlgorithms: unlike Analytic, the
+// calibrated backend fits each registry variant separately.
+func TestCalibratedDistinguishesAlgorithms(t *testing.T) {
+	mach := machine.SP2()
+	cal := &Calibrated{Config: tinyCfg, Sizes: []int{4, 16}, Lengths: []int{4, 4096}}
+	base := mpi.DefaultAlgorithms(mach)
+	pairwise := cal.Estimate(mach, machine.OpAlltoall, base.With(machine.OpAlltoall, "pairwise"), 16, 4096, tinyCfg)
+	linear := cal.Estimate(mach, machine.OpAlltoall, base.With(machine.OpAlltoall, "linear"), 16, 4096, tinyCfg)
+	if pairwise.Sample.Micros == linear.Sample.Micros {
+		t.Fatal("calibrated backend conflated two alltoall variants")
+	}
+}
+
+// countingStore records expression-store traffic.
+type countingStore struct {
+	mu   sync.Mutex
+	data map[string]fit.Expression
+	puts int
+	hits int
+}
+
+func (s *countingStore) GetExpression(key string) (fit.Expression, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	if ok {
+		s.hits++
+	}
+	return e, ok
+}
+
+func (s *countingStore) PutExpression(key, id string, e fit.Expression) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.data == nil {
+		s.data = map[string]fit.Expression{}
+	}
+	s.data[key] = e
+	return nil
+}
+
+// TestCalibratedPersistsThroughStore: a second backend instance sharing
+// the store serves the persisted fit instead of re-simulating, and a
+// changed calibration spec keys a different entry.
+func TestCalibratedPersistsThroughStore(t *testing.T) {
+	store := &countingStore{}
+	mach := machine.T3D()
+	algs := mpi.DefaultAlgorithms(mach)
+	mk := func() *Calibrated {
+		return &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 1024}, Store: store}
+	}
+
+	a := mk().Estimate(mach, machine.OpGather, algs, 4, 1024, tinyCfg)
+	if store.puts != 1 {
+		t.Fatalf("first calibration stored %d expressions, want 1", store.puts)
+	}
+
+	b := mk().Estimate(mach, machine.OpGather, algs, 4, 1024, tinyCfg)
+	if store.hits != 1 {
+		t.Fatalf("second instance did not load the persisted fit (hits=%d)", store.hits)
+	}
+	if store.puts != 1 {
+		t.Fatal("second instance refit despite the store hit")
+	}
+	if a.Sample.Micros != b.Sample.Micros {
+		t.Fatalf("persisted fit served different numbers: %v vs %v", a.Sample.Micros, b.Sample.Micros)
+	}
+
+	// A different calibration spec must not hit the stored entry.
+	third := Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 4096}, Store: store}
+	third.Estimate(mach, machine.OpGather, algs, 4, 1024, tinyCfg)
+	if store.puts != 2 {
+		t.Fatal("changed calibration spec reused the old stored expression")
+	}
+}
+
+// TestCalibratedConcurrentCallersShareOneCalibration hammers one triple
+// from many goroutines: exactly one calibration sweep must run, and
+// every caller must see the same expression.
+func TestCalibratedConcurrentCallersShareOneCalibration(t *testing.T) {
+	store := &countingStore{}
+	cal := &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 256}, Store: store}
+	mach := machine.Paragon()
+	algs := mpi.DefaultAlgorithms(mach)
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = cal.Estimate(mach, machine.OpScan, algs, 4, 256, tinyCfg).Sample.Micros
+		}(i)
+	}
+	wg.Wait()
+	for _, v := range results[1:] {
+		if v != results[0] {
+			t.Fatalf("concurrent callers saw different estimates: %v", results)
+		}
+	}
+	if store.puts != 1 {
+		t.Fatalf("%d calibrations ran for one triple", store.puts)
+	}
+}
+
+func TestProvenanceDistinguishesBackends(t *testing.T) {
+	specs := []Backend{
+		Sim{},
+		PaperAnalytic(),
+		NewAnalytic(model.FromPaper(), "refit"),
+		&Calibrated{},
+		&Calibrated{Sizes: []int{2, 8}},
+		&Calibrated{Config: measure.Paper()},
+	}
+	seen := map[string]bool{}
+	for _, b := range specs {
+		id := b.Name() + "\x00" + b.Provenance()
+		if seen[id] {
+			t.Fatalf("duplicate backend identity %q", id)
+		}
+		seen[id] = true
+	}
+	c := &Calibrated{Sizes: []int{2, 8}}
+	if c.Provenance() != (&Calibrated{Sizes: []int{2, 8}}).Provenance() {
+		t.Fatal("provenance is not deterministic")
+	}
+}
+
+func TestCompareAndFastest(t *testing.T) {
+	ests := Compare(PaperAnalytic(), machine.All(), machine.OpAlltoall, 64, 65536, tinyCfg)
+	if len(ests) != 3 {
+		t.Fatalf("got %d estimates", len(ests))
+	}
+	names := make([]string, len(ests))
+	for i, e := range ests {
+		names[i] = e.Sample.Machine
+	}
+	sort.Strings(names)
+	if names[0] != "Paragon" || names[2] != "T3D" {
+		t.Fatalf("machines %v", names)
+	}
+	if f := Fastest(ests); f.Sample.Machine != "T3D" {
+		t.Fatalf("fastest 64KB alltoall should be the T3D, got %s", f.Sample.Machine)
+	}
+	// Barrier comparisons force m to 0.
+	for _, e := range Compare(PaperAnalytic(), machine.All(), machine.OpBarrier, 32, 4096, tinyCfg) {
+		if e.Sample.M != 0 {
+			t.Fatalf("barrier compared at m=%d", e.Sample.M)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package estimate
+
+import (
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// BackendSim names the simulator backend.
+const BackendSim = "sim"
+
+// Sim is the ground-truth backend: it runs the paper's full benchmark
+// procedure (warm-up, k timed iterations, max-reduce over ranks,
+// repeated executions) on the discrete-event simulator. Slow and exact;
+// every other backend is validated against it.
+type Sim struct{}
+
+// Name returns "sim".
+func (Sim) Name() string { return BackendSim }
+
+// Provenance is empty: sim results are fully determined by the scenario
+// and the machine calibration, both of which cache keys already cover.
+func (Sim) Provenance() string { return "" }
+
+// Estimate measures the collective with measure.MeasureOpWith.
+func (Sim) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate {
+	return Estimate{
+		Sample:  measure.MeasureOpWith(mach, op, p, m, cfg, algs),
+		Backend: BackendSim,
+	}
+}

@@ -20,7 +20,6 @@ package measure
 import (
 	"fmt"
 
-	"repro/internal/fit"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/paper"
@@ -168,19 +167,6 @@ func opBody(c *mpi.Comm, op machine.Op, msgLen int) func() {
 		return func() { c.Allreduce(mine, mpi.Sum, mpi.Float) }
 	}
 	panic("measure: unknown operation " + string(op))
-}
-
-// Sweep measures op across machine sizes and message lengths and
-// returns the dataset for curve fitting.
-func Sweep(mach *machine.Machine, op machine.Op, sizes, lengths []int, cfg Config) *fit.Dataset {
-	d := &fit.Dataset{}
-	for _, p := range sizes {
-		for _, m := range lengths {
-			s := MeasureOp(mach, op, p, m, cfg)
-			d.Add(p, m, s.Micros)
-		}
-	}
-	return d
 }
 
 // StartupLatency estimates T0(p) the paper's way: the timing of the

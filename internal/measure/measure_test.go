@@ -70,16 +70,6 @@ func TestMeasureDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
-func TestSweepBuildsFullDataset(t *testing.T) {
-	d := Sweep(machine.T3D(), machine.OpBroadcast, []int{2, 4, 8}, []int{4, 256}, Fast())
-	if len(d.Points) != 6 {
-		t.Fatalf("sweep produced %d points, want 6", len(d.Points))
-	}
-	if s := d.Sizes(); len(s) != 3 || s[2] != 8 {
-		t.Fatalf("sizes %v", s)
-	}
-}
-
 func TestStartupLatencyUsesShortMessage(t *testing.T) {
 	cfg := Fast()
 	t0 := StartupLatency(machine.T3D(), machine.OpBroadcast, 16, cfg)

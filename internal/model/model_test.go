@@ -3,6 +3,7 @@ package model
 import (
 	"testing"
 
+	"repro/internal/fit"
 	"repro/internal/machine"
 )
 
@@ -174,6 +175,86 @@ func TestCommFractionGrowsWithMachineSize(t *testing.T) {
 	large := w.CommFraction(pr, "Paragon", 64)
 	if large <= small {
 		t.Fatalf("comm fraction should grow with p: %.3f → %.3f", small, large)
+	}
+}
+
+// twoMachinePredictor builds a predictor over a synthetic expression
+// set where machine "slow" is strictly slower per byte but cheaper at
+// startup — a controlled crossover.
+func twoMachinePredictor() *Predictor {
+	lin := func(a, b float64) fit.Form { return fit.Form{Kind: fit.Linear, A: a, B: b} }
+	return New(map[string]map[machine.Op]fit.Expression{
+		"fast": {machine.OpAlltoall: {Startup: lin(0, 100), PerByte: lin(0, 0.01)}},
+		"slow": {machine.OpAlltoall: {Startup: lin(0, 10), PerByte: lin(0, 0.1)}},
+	})
+}
+
+func TestNewPredictorMachinesSorted(t *testing.T) {
+	pr := twoMachinePredictor()
+	ms := pr.Machines()
+	if len(ms) != 2 || ms[0] != "fast" || ms[1] != "slow" {
+		t.Fatalf("machines = %v", ms)
+	}
+	if _, ok := pr.Expression("fast", machine.OpBarrier); ok {
+		t.Fatal("phantom expression for an op the set lacks")
+	}
+	if _, ok := pr.Expression("CM-5", machine.OpAlltoall); ok {
+		t.Fatal("phantom expression for an unknown machine")
+	}
+}
+
+func TestRankFlipsAtCrossover(t *testing.T) {
+	pr := twoMachinePredictor()
+	// fast − slow time difference flips sign at m = 90/0.09 = 1000.
+	if order := pr.Rank(machine.OpAlltoall, 100, 4); order[0] != "slow" {
+		t.Fatalf("short messages should favor the low-startup machine, got %v", order)
+	}
+	if order := pr.Rank(machine.OpAlltoall, 10000, 4); order[0] != "fast" {
+		t.Fatalf("long messages should favor the low-per-byte machine, got %v", order)
+	}
+	m, ok := pr.Crossover("slow", "fast", machine.OpAlltoall, 4, 1, 1<<20)
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	if m != 1001 {
+		// Crossover returns the smallest m where b strictly wins:
+		// at m=1000 the two are exactly equal.
+		t.Fatalf("crossover at %d, want 1001", m)
+	}
+	// The boundary is exact: one byte below, slow still holds.
+	if pr.Time("fast", machine.OpAlltoall, m-1, 4) < pr.Time("slow", machine.OpAlltoall, m-1, 4) {
+		t.Fatal("crossover is not the smallest winning length")
+	}
+}
+
+func TestCrossoverClampsLowBound(t *testing.T) {
+	pr := twoMachinePredictor()
+	// lo < 1 must clamp rather than probe m=0 (degenerate for
+	// startup-only comparisons).
+	m, ok := pr.Crossover("fast", "slow", machine.OpAlltoall, 4, -5, 10)
+	if !ok || m != 1 {
+		t.Fatalf("slow already wins at the clamped lo=1: got (%d, %v)", m, ok)
+	}
+}
+
+func TestEfficiencyLimitEdges(t *testing.T) {
+	pr := FromPaper()
+	if eff := pr.EfficiencyLimit("SP2", machine.OpAlltoall, 64, 0); eff != 0 {
+		t.Fatalf("zero link rate should give 0, got %v", eff)
+	}
+	if eff := pr.EfficiencyLimit("SP2", machine.OpAlltoall, 64, -1); eff != 0 {
+		t.Fatalf("negative link rate should give 0, got %v", eff)
+	}
+	// Barrier has no per-byte term, so its aggregated bandwidth — and
+	// efficiency — is 0 by construction.
+	if eff := pr.EfficiencyLimit("T3D", machine.OpBarrier, 64, 300); eff != 0 {
+		t.Fatalf("barrier efficiency should be 0, got %v", eff)
+	}
+	// Efficiency scales inversely with the raw link rate.
+	at40 := pr.EfficiencyLimit("SP2", machine.OpAlltoall, 64, 40)
+	at80 := pr.EfficiencyLimit("SP2", machine.OpAlltoall, 64, 80)
+	if at40 <= 0 || at80 <= 0 || at40/at80 < 1.99 || at40/at80 > 2.01 {
+		t.Fatalf("efficiency should halve when the raw rate doubles: %v vs %v", at40, at80)
 	}
 }
 

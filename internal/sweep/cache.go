@@ -9,39 +9,44 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/estimate"
+	"repro/internal/fit"
 	"repro/internal/machine"
 	"repro/internal/measure"
 )
 
 // cacheVersion is baked into every content key; bump it when the
 // measurement semantics change in a way the key fields do not capture.
-const cacheVersion = 1
+// v2: keys carry the estimation backend's identity and provenance.
+const cacheVersion = 2
 
-// Fingerprint hashes a machine's full calibration-constant set (network
-// parameters, per-operation tunings, noise model — everything in
-// machine.Params). It is part of every cache key, so editing a preset
-// silently invalidates all of that machine's cached results.
+// Fingerprint hashes a machine's full calibration-constant set; see
+// estimate.Fingerprint, which owns the digest so the backends and the
+// sweep cache key the same identity.
 func Fingerprint(m *machine.Machine) string {
-	// encoding/json sorts map keys, so the Tunings map serializes
-	// deterministically.
-	blob, err := json.Marshal(m.Params())
-	if err != nil {
-		panic(fmt.Sprintf("sweep: fingerprint %s: %v", m.Name(), err))
-	}
-	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:])
+	return estimate.Fingerprint(m)
+}
+
+// BackendID condenses a backend's identity and data provenance into the
+// string the cache keys carry. Distinct backends — or one backend over
+// distinct expression sets or calibration specs — never share an ID, so
+// their cached results never cross-contaminate.
+func BackendID(b estimate.Backend) string {
+	return b.Name() + "\x00" + b.Provenance()
 }
 
 // Key returns the scenario's content key given its machine's
-// calibration fingerprint: identical inputs — scenario coordinates,
-// methodology (including seed), calibration constants — always produce
-// the same key, and any drift produces a different one.
-func (s Scenario) Key(fingerprint string) string {
+// calibration fingerprint and the estimation backend's ID: identical
+// inputs — scenario coordinates, methodology (including seed),
+// calibration constants, backend identity and provenance — always
+// produce the same key, and any drift produces a different one.
+func (s Scenario) Key(fingerprint, backendID string) string {
 	blob, err := json.Marshal(struct {
 		V           int      `json:"v"`
 		Scenario    Scenario `json:"scenario"`
 		Calibration string   `json:"calibration"`
-	}{cacheVersion, s, fingerprint})
+		Backend     string   `json:"backend"`
+	}{cacheVersion, s, fingerprint, backendID})
 	if err != nil {
 		panic(fmt.Sprintf("sweep: key %s: %v", s.ID(), err))
 	}
@@ -58,11 +63,25 @@ type entry struct {
 	Sample measure.Sample `json:"sample"`
 }
 
+// exprEntry is the envelope of one persisted fitted expression (the
+// Calibrated backend's calibration artifact).
+type exprEntry struct {
+	Key        string         `json:"key"`
+	ID         string         `json:"id"`
+	Expression fit.Expression `json:"expression"`
+}
+
 // Cache is a content-keyed result store, one JSON file per scenario
-// under a directory. The zero of *Cache (nil) is a valid no-op cache.
+// under a directory. It also persists the Calibrated backend's fitted
+// expressions (estimate.ExpressionStore), so one directory carries both
+// a sweep's samples and the calibration they may derive from. The zero
+// of *Cache (nil) is a valid no-op cache.
 type Cache struct {
 	dir string
 }
+
+// Cache persists calibrations for the Calibrated backend.
+var _ estimate.ExpressionStore = (*Cache)(nil)
 
 // OpenCache returns a cache rooted at dir, creating it if needed. An
 // empty dir returns nil — caching disabled.
@@ -80,19 +99,18 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+func (c *Cache) exprPath(key string) string {
+	return filepath.Join(c.dir, key+".expr.json")
+}
+
 // Get returns the cached sample for key, if present and intact.
 // Corrupt or mismatched entries read as misses.
 func (c *Cache) Get(key string) (measure.Sample, bool) {
 	if c == nil {
 		return measure.Sample{}, false
 	}
-	f, err := os.Open(c.path(key))
-	if err != nil {
-		return measure.Sample{}, false
-	}
-	defer f.Close()
-	e, err := readEntry(f)
-	if err != nil || e.Key != key {
+	var e entry
+	if !readJSON(c.path(key), &e) || e.Key != key {
 		return measure.Sample{}, false
 	}
 	return e.Sample, true
@@ -104,36 +122,64 @@ func (c *Cache) Put(key, id string, s measure.Sample) error {
 	if c == nil {
 		return nil
 	}
+	return c.writeAtomic(c.path(key), entry{Key: key, ID: id, Sample: s})
+}
+
+// GetExpression returns the persisted fitted expression for key, if
+// present and intact (estimate.ExpressionStore).
+func (c *Cache) GetExpression(key string) (fit.Expression, bool) {
+	if c == nil {
+		return fit.Expression{}, false
+	}
+	var e exprEntry
+	if !readJSON(c.exprPath(key), &e) || e.Key != key {
+		return fit.Expression{}, false
+	}
+	return e.Expression, true
+}
+
+// PutExpression stores a fitted expression under key, atomically
+// (estimate.ExpressionStore).
+func (c *Cache) PutExpression(key, id string, e fit.Expression) error {
+	if c == nil {
+		return nil
+	}
+	return c.writeAtomic(c.exprPath(key), exprEntry{Key: key, ID: id, Expression: e})
+}
+
+// writeAtomic persists one JSON envelope via write-temp + rename.
+func (c *Cache) writeAtomic(path string, envelope any) error {
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := writeEntry(tmp, entry{Key: key, ID: id, Sample: s}); err != nil {
+	if err := writeJSON(tmp, envelope); err != nil {
 		tmp.Close()
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
 	return nil
 }
 
-// writeEntry / readEntry are the io-level persistence pair, following
-// the internal/fit persist idiom (WriteCSV/ReadCSV) with JSON framing.
-func writeEntry(w io.Writer, e entry) error {
+// writeJSON / readJSON are the io-level persistence pair, following the
+// internal/fit persist idiom (WriteCSV/ReadCSV) with JSON framing.
+func writeJSON(w io.Writer, envelope any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(e)
+	return enc.Encode(envelope)
 }
 
-func readEntry(r io.Reader) (entry, error) {
-	var e entry
-	if err := json.NewDecoder(r).Decode(&e); err != nil {
-		return entry{}, err
+func readJSON(path string, into any) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
 	}
-	return e, nil
+	defer f.Close()
+	return json.NewDecoder(f).Decode(into) == nil
 }

@@ -15,7 +15,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 	header := []string{
 		"machine", "op", "algorithm", "p", "m",
 		"micros", "min_micros", "max_micros", "rank_min", "rank_mean",
-		"seed", "cached",
+		"seed", "cached", "backend",
 	}
 	rows := make([][]string, 0, len(results))
 	for _, r := range results {
@@ -32,6 +32,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 			formatMicros(r.Sample.RankMean),
 			strconv.FormatInt(r.Scenario.Config.Seed, 10),
 			strconv.FormatBool(r.Cached),
+			r.Backend,
 		})
 	}
 	return report.WriteCSVTable(w, header, rows)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/mpi"
@@ -18,6 +19,9 @@ type Result struct {
 	Scenario Scenario       `json:"scenario"`
 	Sample   measure.Sample `json:"sample"`
 	Cached   bool           `json:"cached"`
+	// Backend names the estimation backend that produced (or, for
+	// cached results, originally produced) the sample.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Progress describes one completed scenario, reported in completion
@@ -30,9 +34,9 @@ type Progress struct {
 }
 
 // Runner shards scenarios across a worker pool. Every scenario is an
-// independent simulation — its own cluster, kernel, and RNG seeded from
-// the scenario — so results are identical regardless of worker count;
-// only wall-clock time changes.
+// independent estimate — under the sim backend its own cluster, kernel,
+// and RNG seeded from the scenario — so results are identical
+// regardless of worker count; only wall-clock time changes.
 type Runner struct {
 	// Workers is the pool size; ≤ 0 means GOMAXPROCS.
 	Workers int
@@ -41,8 +45,13 @@ type Runner struct {
 	// busy with a few batches.
 	BatchSize int
 	// Cache, when non-nil, serves repeated scenarios without
-	// simulating and persists fresh results.
+	// re-estimating and persists fresh results. Keys carry the
+	// backend's identity and provenance, so switching backends (or
+	// recalibrating one) never serves another backend's numbers.
 	Cache *Cache
+	// Backend is the estimation strategy; nil means the exact
+	// simulator backend (estimate.Sim).
+	Backend estimate.Backend
 	// OnProgress, when non-nil, is called after each scenario (from a
 	// single goroutine at a time).
 	OnProgress func(Progress)
@@ -66,6 +75,11 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 		// without a channel send per scenario.
 		batch = len(scenarios)/(4*workers) + 1
 	}
+	backend := r.Backend
+	if backend == nil {
+		backend = estimate.Sim{}
+	}
+	backendID := BackendID(backend)
 
 	// Per-machine state shared by all workers, resolved once.
 	mctx := map[string]*machineCtx{}
@@ -96,7 +110,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			for span := range jobs {
 				for i := span[0]; i < span[1]; i++ {
 					sc := scenarios[i]
-					results[i] = r.runOne(sc, mctx[sc.Machine])
+					results[i] = r.runOne(sc, mctx[sc.Machine], backend, backendID)
 					n := int(done.Add(1))
 					if r.OnProgress != nil {
 						progressMu.Lock()
@@ -130,16 +144,16 @@ type machineCtx struct {
 	fingerprint string // "" when no cache is attached
 }
 
-// runOne serves one scenario from the cache or simulates it. Only the
+// runOne serves one scenario from the cache or estimates it. Only the
 // scenario's own operation deviates from the vendor algorithm table, so
 // the in-band synchronization barrier of the measurement procedure is
 // the same across variants of another operation.
-func (r *Runner) runOne(sc Scenario, mc *machineCtx) Result {
+func (r *Runner) runOne(sc Scenario, mc *machineCtx, backend estimate.Backend, backendID string) Result {
 	var key string
 	if r.Cache != nil {
-		key = sc.Key(mc.fingerprint)
+		key = sc.Key(mc.fingerprint, backendID)
 		if s, ok := r.Cache.Get(key); ok {
-			return Result{Scenario: sc, Sample: s, Cached: true}
+			return Result{Scenario: sc, Sample: s, Cached: true, Backend: backend.Name()}
 		}
 	}
 	algs := mc.defaults
@@ -151,9 +165,9 @@ func (r *Runner) runOne(sc Scenario, mc *machineCtx) Result {
 	if sc.Op == machine.OpBarrier && sc.Algorithm == coll.AlgHardware && !mc.m.HardwareBarrier() {
 		panic(fmt.Sprintf("sweep: %s has no hardware barrier", sc.Machine))
 	}
-	s := measure.MeasureOpWith(mc.m, sc.Op, sc.P, sc.M, sc.Config, algs)
+	est := backend.Estimate(mc.m, sc.Op, algs, sc.P, sc.M, sc.Config)
 	if r.Cache != nil {
-		_ = r.Cache.Put(key, sc.ID(), s) // best-effort; a full disk must not fail the sweep
+		_ = r.Cache.Put(key, sc.ID(), est.Sample) // best-effort; a full disk must not fail the sweep
 	}
-	return Result{Scenario: sc, Sample: s}
+	return Result{Scenario: sc, Sample: est.Sample, Backend: est.Backend}
 }

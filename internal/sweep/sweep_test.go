@@ -9,8 +9,11 @@ import (
 	"testing"
 
 	"repro/internal/coll"
+	"repro/internal/estimate"
+	"repro/internal/fit"
 	"repro/internal/machine"
 	"repro/internal/measure"
+	"repro/internal/mpi"
 	"repro/internal/paper"
 )
 
@@ -181,7 +184,8 @@ func TestRunnerMatchesSerialMeasureSweep(t *testing.T) {
 	sizes := []int{2, 4, 8}
 	lengths := []int{4, 1024}
 	cfg := measure.Fast()
-	serial := measure.Sweep(machine.Paragon(), machine.OpGather, sizes, lengths, cfg)
+	mach := machine.Paragon()
+	serial := estimate.BuildDataset(mach, machine.OpGather, mpi.DefaultAlgorithms(mach), sizes, lengths, cfg)
 
 	sp := Spec{
 		Machines: []string{"Paragon"}, Ops: []machine.Op{machine.OpGather},
@@ -224,6 +228,7 @@ func TestRunnerCacheRoundTrip(t *testing.T) {
 func TestCacheKeyDependsOnCalibrationAndConfig(t *testing.T) {
 	sc := Scenario{Machine: "SP2", Op: machine.OpBroadcast, Algorithm: DefaultAlgorithm,
 		P: 4, M: 64, Config: tinyCfg}
+	sim := BackendID(estimate.Sim{})
 	sp2 := Fingerprint(machine.SP2())
 	if sp2 != Fingerprint(machine.SP2()) {
 		t.Fatal("fingerprint is not deterministic")
@@ -231,17 +236,172 @@ func TestCacheKeyDependsOnCalibrationAndConfig(t *testing.T) {
 	if sp2 == Fingerprint(machine.T3D()) {
 		t.Fatal("distinct machines share a fingerprint")
 	}
-	k := sc.Key(sp2)
-	if k != sc.Key(sp2) {
+	k := sc.Key(sp2, sim)
+	if k != sc.Key(sp2, sim) {
 		t.Fatal("key is not deterministic")
 	}
-	if k == sc.Key(Fingerprint(machine.T3D())) {
+	if k == sc.Key(Fingerprint(machine.T3D()), sim) {
 		t.Fatal("key ignores the calibration fingerprint")
 	}
 	reseeded := sc
 	reseeded.Config.Seed++
-	if k == reseeded.Key(sp2) {
+	if k == reseeded.Key(sp2, sim) {
 		t.Fatal("key ignores the measurement config")
+	}
+}
+
+// TestCacheKeySelfInvalidatesAcrossBackends proves the cache never
+// serves one backend's numbers to another: the key changes with the
+// backend's identity and with its expression provenance (an analytic
+// backend over a different expression set, or a calibrated backend
+// whose calibration spec changed).
+func TestCacheKeySelfInvalidatesAcrossBackends(t *testing.T) {
+	sc := Scenario{Machine: "SP2", Op: machine.OpBroadcast, Algorithm: DefaultAlgorithm,
+		P: 4, M: 64, Config: tinyCfg}
+	fp := Fingerprint(machine.SP2())
+
+	ids := map[string]string{
+		"sim":             BackendID(estimate.Sim{}),
+		"analytic(paper)": BackendID(estimate.PaperAnalytic()),
+		"calibrated":      BackendID(&estimate.Calibrated{}),
+	}
+	keys := map[string]string{}
+	for name, id := range ids {
+		keys[name] = sc.Key(fp, id)
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("backends %s and %s share a cache key", prev, name)
+		}
+		seen[k] = name
+	}
+
+	// Same backend, different expression provenance: a refit analytic
+	// predictor must not serve paper-table3 entries.
+	refit := estimate.NewAnalytic(estimate.PaperAnalytic().Predictor(), "refit-2026-07")
+	if sc.Key(fp, BackendID(refit)) == keys["analytic(paper)"] {
+		t.Fatal("key ignores the analytic expression provenance")
+	}
+
+	// Same calibrated backend, different calibration spec.
+	recal := &estimate.Calibrated{Sizes: []int{2, 8}, Lengths: []int{4, 1024}}
+	if sc.Key(fp, BackendID(recal)) == keys["calibrated"] {
+		t.Fatal("key ignores the calibration provenance")
+	}
+	recfg := &estimate.Calibrated{Config: measure.Paper()}
+	if sc.Key(fp, BackendID(recfg)) == keys["calibrated"] ||
+		sc.Key(fp, BackendID(recfg)) == sc.Key(fp, BackendID(recal)) {
+		t.Fatal("key ignores the calibration methodology")
+	}
+}
+
+// TestRunnerCacheDoesNotCrossContaminateBackends runs the same grid
+// through sim and analytic against one cache directory: the second
+// backend must miss (and re-estimate), not inherit the first's samples.
+func TestRunnerCacheDoesNotCrossContaminateBackends(t *testing.T) {
+	sp := Spec{
+		Machines: []string{"SP2"}, Ops: []machine.Op{machine.OpBroadcast},
+		Sizes: []int{2, 4}, Lengths: []int{4, 1024}, Config: tinyCfg,
+	}
+	scns, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCold := (&Runner{Cache: cache}).Run(scns)
+	analytic := (&Runner{Cache: cache, Backend: estimate.PaperAnalytic()}).Run(scns)
+	for i, r := range analytic {
+		if r.Cached {
+			t.Fatalf("%s: analytic run served a sim cache entry", r.Scenario.ID())
+		}
+		if r.Backend != estimate.BackendAnalytic {
+			t.Fatalf("%s: backend label %q", r.Scenario.ID(), r.Backend)
+		}
+		if r.Sample.Micros == simCold[i].Sample.Micros {
+			t.Fatalf("%s: analytic estimate equals the sim sample exactly — cross-contamination?",
+				r.Scenario.ID())
+		}
+	}
+	simWarm := (&Runner{Cache: cache}).Run(scns)
+	for i, r := range simWarm {
+		if !r.Cached || r.Sample != simCold[i].Sample {
+			t.Fatalf("%s: sim warm run lost its own cache entry", r.Scenario.ID())
+		}
+	}
+	analyticWarm := (&Runner{Cache: cache, Backend: estimate.PaperAnalytic()}).Run(scns)
+	for i, r := range analyticWarm {
+		if !r.Cached || r.Sample != analytic[i].Sample {
+			t.Fatalf("%s: analytic warm run lost its own cache entry", r.Scenario.ID())
+		}
+	}
+}
+
+func TestCacheExpressionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fit.Expression{
+		Startup: fit.Form{Kind: fit.Log, A: 55, B: 30},
+		PerByte: fit.Form{Kind: fit.Linear, A: 0.014, B: 0.053},
+	}
+	if err := cache.PutExpression("feedbead", "SP2/broadcast", e); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cache.GetExpression("feedbead"); !ok || got != e {
+		t.Fatalf("GetExpression = %+v, %v; want stored expression", got, ok)
+	}
+	// Expressions and samples live in separate namespaces: a sample
+	// under the same key must not satisfy an expression lookup.
+	if _, ok := cache.Get("feedbead"); ok {
+		t.Fatal("expression entry served as a sample")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "feedbead.expr.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetExpression("feedbead"); ok {
+		t.Fatal("corrupt expression served as a hit")
+	}
+	var nilCache *Cache
+	if _, ok := nilCache.GetExpression("k"); ok {
+		t.Fatal("nil cache expression hit")
+	}
+	if err := nilCache.PutExpression("k", "id", e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunnerAnalyticMatchesModel checks the analytic backend rides the
+// runner unchanged: every result equals the closed-form prediction and
+// the artifacts stay byte-identical across worker counts.
+func TestRunnerAnalyticMatchesModel(t *testing.T) {
+	sp := Spec{
+		Machines: []string{"SP2", "T3D"},
+		Ops:      []machine.Op{machine.OpBarrier, machine.OpAlltoall},
+		Sizes:    []int{4, 16}, Lengths: []int{4, 4096},
+		Config: tinyCfg,
+	}
+	scns, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := estimate.PaperAnalytic()
+	serial := (&Runner{Workers: 1, Backend: backend}).Run(scns)
+	parallel := (&Runner{Workers: 8, BatchSize: 1, Backend: backend}).Run(scns)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("analytic results differ between 1 and 8 workers")
+	}
+	pr := backend.Predictor()
+	for _, r := range serial {
+		want := pr.Time(r.Scenario.Machine, r.Scenario.Op, r.Scenario.M, r.Scenario.P)
+		if r.Sample.Micros != want {
+			t.Fatalf("%s: %v, model says %v", r.Scenario.ID(), r.Sample.Micros, want)
+		}
 	}
 }
 
@@ -322,6 +482,57 @@ func TestBestAlgorithmsAndWinCounts(t *testing.T) {
 	wc := WinCounts(ds)
 	if len(wc) != 2 || wc[0].Wins != 1 || wc[0].Points != 2 {
 		t.Fatalf("win counts wrong: %+v", wc)
+	}
+}
+
+func TestPairAndValidationReport(t *testing.T) {
+	mk := func(op machine.Op, p, m int, micros float64) Result {
+		return Result{
+			Scenario: Scenario{Machine: "SP2", Op: op, Algorithm: DefaultAlgorithm, P: p, M: m},
+			Sample:   measure.Sample{Micros: micros},
+		}
+	}
+	ref := []Result{
+		mk(machine.OpBroadcast, 8, 4, 100),
+		mk(machine.OpBroadcast, 8, 1024, 200),
+		mk(machine.OpBarrier, 8, 0, 50),
+	}
+	est := []Result{
+		mk(machine.OpBroadcast, 8, 4, 110), // 10% high
+		mk(machine.OpBroadcast, 8, 1024, 190),
+		mk(machine.OpBarrier, 8, 0, 50), // exact
+	}
+	pairs, err := Pair(ref, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := RelErrors(pairs)
+	want := []float64{0.1, 0.05, 0}
+	for i, e := range errs {
+		if d := e - want[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("rel errors %v, want %v", errs, want)
+		}
+	}
+	var b bytes.Buffer
+	if err := WriteValidation(&b, "t", pairs, &ValidationTiming{
+		Backend: "calibrated", RefSeconds: 10, EstSeconds: 10, WarmSeconds: 0.01,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{"| 3 | 5.00% |", "1000×", "| SP2 | broadcast |", "m=1024"} {
+		if !bytes.Contains(b.Bytes(), []byte(needle)) {
+			t.Fatalf("report missing %q:\n%s", needle, out)
+		}
+	}
+
+	// Pairing rejects mismatched runs.
+	if _, err := Pair(ref, est[:2]); err == nil {
+		t.Fatal("Pair accepted mismatched lengths")
+	}
+	swapped := []Result{est[1], est[0], est[2]}
+	if _, err := Pair(ref, swapped); err == nil {
+		t.Fatal("Pair accepted scenario mismatch")
 	}
 }
 

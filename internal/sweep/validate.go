@@ -1,0 +1,254 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Paired is one scenario estimated by both the reference backend
+// (normally sim, the ground truth) and a candidate backend.
+type Paired struct {
+	Scenario  Scenario
+	RefMicros float64
+	EstMicros float64
+}
+
+// RelError returns |est − ref| / ref (0 when the reference is 0).
+func (p Paired) RelError() float64 {
+	if p.RefMicros == 0 {
+		return 0
+	}
+	d := p.EstMicros - p.RefMicros
+	if d < 0 {
+		d = -d
+	}
+	return d / p.RefMicros
+}
+
+// Pair matches two result slices from the same scenario expansion,
+// position by position. It errors if the slices disagree on length or
+// scenario identity — the caller must run both backends over one
+// Spec.Expand output.
+func Pair(ref, est []Result) ([]Paired, error) {
+	if len(ref) != len(est) {
+		return nil, fmt.Errorf("sweep: pairing %d reference results with %d estimates", len(ref), len(est))
+	}
+	out := make([]Paired, len(ref))
+	for i := range ref {
+		if ref[i].Scenario != est[i].Scenario {
+			return nil, fmt.Errorf("sweep: result %d: scenario mismatch %s vs %s",
+				i, ref[i].Scenario.ID(), est[i].Scenario.ID())
+		}
+		out[i] = Paired{
+			Scenario:  ref[i].Scenario,
+			RefMicros: ref[i].Sample.Micros,
+			EstMicros: est[i].Sample.Micros,
+		}
+	}
+	return out, nil
+}
+
+// RelErrors extracts every pair's relative error, in pair order.
+func RelErrors(pairs []Paired) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.RelError()
+	}
+	return out
+}
+
+// ValidationTiming carries the wall-clock context of a validation run;
+// zero fields are omitted from the report. RefCached/EstCached count
+// cache-served scenarios in each pass — when nonzero the pass was not
+// cold, and the report labels it accordingly instead of presenting a
+// cache read as estimation speed.
+type ValidationTiming struct {
+	Backend     string  // candidate backend name
+	RefSeconds  float64 // reference (sim) grid pass
+	EstSeconds  float64 // candidate grid pass (includes calibration)
+	WarmSeconds float64 // candidate grid, warm (expressions in memory, no cache)
+	RefCached   int     // cache-served scenarios in the reference pass
+	EstCached   int     // cache-served scenarios in the candidate pass
+}
+
+// passLabel names a pass honestly: cold when every scenario was
+// estimated, cache-served otherwise.
+func passLabel(name string, cached int) string {
+	if cached == 0 {
+		return name + " grid (cold)"
+	}
+	return fmt.Sprintf("%s grid (%d cache-served)", name, cached)
+}
+
+// WriteValidation emits the paper-style validation report: per
+// (machine, op) median relative error across message lengths — the
+// shape of the paper's own Table 3 error discussion — plus an overall
+// error summary, the worst scenarios, and the speed comparison.
+func WriteValidation(w io.Writer, title string, pairs []Paired, timing *ValidationTiming) error {
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	errs := RelErrors(pairs)
+	p("# %s", title)
+	p("")
+	p("%d scenarios estimated by both backends. Relative error is", len(pairs))
+	p("|estimate − sim| / sim on the headline time (the mean over executions")
+	p("of the max-reduced per-rank averages).")
+	p("")
+	p("## Overall error")
+	p("")
+	p("| points | median | mean | p95 | max |")
+	p("|---|---|---|---|---|")
+	p("| %d | %.2f%% | %.2f%% | %.2f%% | %.2f%% |",
+		len(errs), 100*stats.Median(errs), 100*mean(errs),
+		100*stats.Percentile(errs, 95), 100*maxOf(errs))
+	p("")
+
+	if timing != nil {
+		p("## Speed")
+		p("")
+		p("| pass | wall-clock | vs sim pass |")
+		p("|---|---|---|")
+		if timing.RefSeconds > 0 {
+			p("| %s | %.3fs | 1× |", passLabel("sim", timing.RefCached), timing.RefSeconds)
+		}
+		if timing.EstSeconds > 0 {
+			p("| %s | %.3fs | %s |", passLabel(timing.Backend, timing.EstCached),
+				timing.EstSeconds, speedup(timing.RefSeconds, timing.EstSeconds))
+		}
+		if timing.WarmSeconds > 0 {
+			p("| %s grid (warm, in-memory) | %.3fs | %s |", timing.Backend, timing.WarmSeconds,
+				speedup(timing.RefSeconds, timing.WarmSeconds))
+		}
+		if timing.RefCached > 0 || timing.EstCached > 0 {
+			p("")
+			p("Cache-served passes do not measure estimation speed; rerun without")
+			p("`-cache` (or against a fresh directory) for cold numbers.")
+		}
+		p("")
+	}
+
+	p("## Median relative error per machine × op × message length")
+	p("")
+	lengths := pairLengths(pairs)
+	header := "| machine | op |"
+	rule := "|---|---|"
+	for _, m := range lengths {
+		header += fmt.Sprintf(" m=%d |", m)
+		rule += "---|"
+	}
+	header += " all |"
+	rule += "---|"
+	p("%s", header)
+	p("%s", rule)
+	for _, row := range groupPairs(pairs) {
+		line := fmt.Sprintf("| %s | %s |", row.mach, row.op)
+		for _, m := range lengths {
+			cell, ok := row.byLength[m]
+			if !ok {
+				line += " - |"
+				continue
+			}
+			line += fmt.Sprintf(" %.1f%% |", 100*stats.Median(cell))
+		}
+		line += fmt.Sprintf(" %.1f%% |", 100*stats.Median(row.all))
+		p("%s", line)
+	}
+	p("")
+
+	p("## Worst scenarios")
+	p("")
+	p("| scenario | sim µs | estimate µs | rel error |")
+	p("|---|---|---|---|")
+	worst := append([]Paired(nil), pairs...)
+	sort.SliceStable(worst, func(i, j int) bool { return worst[i].RelError() > worst[j].RelError() })
+	if len(worst) > 10 {
+		worst = worst[:10]
+	}
+	for _, pr := range worst {
+		p("| %s | %.1f | %.1f | %.1f%% |",
+			pr.Scenario.ID(), pr.RefMicros, pr.EstMicros, 100*pr.RelError())
+	}
+	p("")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// errRow accumulates one (machine, op) slice of a validation.
+type errRow struct {
+	mach     string
+	op       machine.Op
+	byLength map[int][]float64
+	all      []float64
+}
+
+// groupPairs partitions pairs by (machine, op) in first-appearance
+// order, splitting each row's errors by message length.
+func groupPairs(pairs []Paired) []*errRow {
+	idx := map[[2]string]int{}
+	var out []*errRow
+	for _, pr := range pairs {
+		k := [2]string{pr.Scenario.Machine, string(pr.Scenario.Op)}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, &errRow{
+				mach: pr.Scenario.Machine, op: pr.Scenario.Op,
+				byLength: map[int][]float64{},
+			})
+		}
+		e := pr.RelError()
+		out[i].byLength[pr.Scenario.M] = append(out[i].byLength[pr.Scenario.M], e)
+		out[i].all = append(out[i].all, e)
+	}
+	return out
+}
+
+// pairLengths returns the sorted distinct message lengths present.
+func pairLengths(pairs []Paired) []int {
+	seen := map[int]bool{}
+	for _, pr := range pairs {
+		seen[pr.Scenario.M] = true
+	}
+	out := make([]int, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func speedup(ref, est float64) string {
+	if ref <= 0 || est <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f×", ref/est)
+}
