@@ -1,0 +1,62 @@
+// Command goldengen regenerates the determinism goldens under
+// testdata/: the markdown report of a fixed sim sweep grid and the
+// calibrated expressions of every (machine, op, algorithm) triple over
+// the same grid (see internal/golden). The committed goldens were
+// produced by the pre-optimization engine (PR 2 state); the determinism
+// tests compare every later engine against them byte for byte, so
+// REGENERATING THEM FORFEITS THAT PROTECTION — only do it when the
+// measured physics (machine presets, methodology, algorithms) changes
+// on purpose.
+//
+// Usage:
+//
+//	go run ./cmd/goldengen [-dir testdata]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/estimate"
+	"repro/internal/golden"
+	"repro/internal/sweep"
+)
+
+func main() {
+	dir := flag.String("dir", "testdata", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	scns, err := golden.Scenarios()
+	if err != nil {
+		fatal(err)
+	}
+	results := (&sweep.Runner{Backend: estimate.Sim{Memo: estimate.NewSampleMemo()}}).Run(scns)
+	md, err := golden.Markdown(results)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "golden_sweep_sim.md"), md, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "goldengen: %d scenarios -> golden_sweep_sim.md\n", len(results))
+
+	exprs := golden.Expressions(golden.Calibrated())
+	blob, err := golden.ExpressionsJSON(exprs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "golden_expressions.json"), blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "goldengen: %d triples -> golden_expressions.json\n", len(exprs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goldengen:", err)
+	os.Exit(1)
+}

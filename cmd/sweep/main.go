@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -42,23 +44,34 @@ import (
 	"repro/internal/sweep"
 )
 
+// main delegates to run so deferred cleanups — most importantly
+// stopping the CPU profile and snapshotting the heap profile — fire on
+// every exit path, not just success.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		machines = flag.String("machines", "", "comma-separated machine presets (default: all)")
-		ops      = flag.String("ops", "", "comma-separated operations (default: the paper's seven)")
-		algs     = flag.String("algs", "all", `algorithm variants: "all", "default", or a comma-separated list`)
-		sizesF   = flag.String("p", "8,32", "comma-separated machine sizes")
-		lengthsF = flag.String("m", "", "comma-separated message lengths in bytes (default: the paper's sweep)")
-		backendF = flag.String("backend", "sim", "estimation backend: sim, analytic, or calibrated")
-		validate = flag.Bool("validate", false, "run sim and the -backend estimator side by side and report relative errors (sim -backend implies calibrated)")
-		workers  = flag.Int("workers", 0, "worker shards (0 = all cores)")
-		cacheDir = flag.String("cache", "", "directory for the content-keyed result and expression cache")
-		outPath  = flag.String("out", "-", `markdown report path ("-" = stdout)`)
-		csvPath  = flag.String("csv", "", "also write per-scenario CSV here")
-		seed     = flag.Int64("seed", 1, "base simulation seed")
-		derive   = flag.Bool("derive-seeds", false, "give every scenario its own deterministic seed")
-		paperCfg = flag.Bool("paper", false, "paper-faithful methodology (warm-up 2, k=20, 5 reps; slow)")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		machines   = flag.String("machines", "", "comma-separated machine presets (default: all)")
+		ops        = flag.String("ops", "", "comma-separated operations (default: the paper's seven)")
+		algs       = flag.String("algs", "all", `algorithm variants: "all", "default", or a comma-separated list`)
+		sizesF     = flag.String("p", "8,32", "comma-separated machine sizes")
+		lengthsF   = flag.String("m", "", "comma-separated message lengths in bytes (default: the paper's sweep)")
+		backendF   = flag.String("backend", "sim", "estimation backend: sim, analytic, or calibrated")
+		validate   = flag.Bool("validate", false, "run sim and the -backend estimator side by side and report relative errors (sim -backend implies calibrated)")
+		workers    = flag.Int("workers", 0, "worker shards (0 = all cores); also bounds the calibration pool")
+		cacheDir   = flag.String("cache", "", "directory for the content-keyed result and expression cache")
+		outPath    = flag.String("out", "-", `markdown report path ("-" = stdout)`)
+		csvPath    = flag.String("csv", "", "also write per-scenario CSV here")
+		seed       = flag.Int64("seed", 1, "base simulation seed")
+		derive     = flag.Bool("derive-seeds", false, "give every scenario its own deterministic seed")
+		paperCfg   = flag.Bool("paper", false, "paper-faithful methodology (warm-up 2, k=20, 5 reps; slow)")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		adaptive   = flag.Bool("adaptive", false, "calibrated backend: stop a triple's calibration sweep once the fit stabilizes (changes fits; cache keys carry the planner)")
+		tolF       = flag.Float64("tol", 0, "adaptive planner coefficient-stability tolerance (0 = default 0.02)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep here")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the sweep) here")
 	)
 	flag.Parse()
 
@@ -91,34 +104,67 @@ func main() {
 		}
 	}
 
+	// Profiles bracket the actual sweep work (parsing is already done);
+	// the deferred stop/snapshot runs on every run() exit path.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
+	}
+
 	scns, err := spec.Expand()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err) // already "sweep:"-prefixed
-		os.Exit(2)
+		return 2
 	}
 	if len(scns) == 0 {
 		fmt.Fprintln(os.Stderr, "sweep: the spec expands to zero scenarios")
-		os.Exit(2)
+		return 2
 	}
 	cache, err := sweep.OpenCache(*cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return 1
 	}
+
+	planner := estimate.Planner{Adaptive: *adaptive, RelTol: *tolF}
 
 	if *validate {
-		runValidate(scns, spec, *backendF, cache, *workers, *outPath, *csvPath, *quiet)
-		return
+		return runValidate(scns, spec, *backendF, planner, cache, *workers, *outPath, *csvPath, *quiet)
 	}
 
-	backend, err := buildBackend(*backendF, spec, cfg, cache)
+	backend, err := buildBackend(*backendF, spec, cfg, planner, cache, estimate.NewSampleMemo(), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(2)
+		return 2
 	}
 	if err := checkAnalyticCoverage(backend, scns); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	start := time.Now()
@@ -144,34 +190,39 @@ func main() {
 		return sweep.WriteMarkdown(w, title, results)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *csvPath != "" {
 		if err := emitTo(*csvPath, func(w io.Writer) error {
 			return sweep.WriteCSV(w, results)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // runValidate executes the grid under sim and a closed-form backend and
 // emits the relative-error validation report (plus, with -csv, the
 // per-scenario rows of both passes, distinguished by the backend
-// column).
-func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool) {
+// column). It returns the process exit code.
+func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, planner estimate.Planner, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool) int {
 	if backendName == "sim" || backendName == "" {
 		backendName = "calibrated" // validating sim against itself is vacuous
 	}
-	candidate, err := buildBackend(backendName, spec, scnConfig(scns, spec), cache)
+	// One memo across both passes: the sim pass and a calibrated
+	// backend's calibration sweep measure many identical cells, so each
+	// is simulated once.
+	memo := estimate.NewSampleMemo()
+	candidate, err := buildBackend(backendName, spec, scnConfig(scns, spec), planner, cache, memo, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(2)
+		return 2
 	}
 	if err := checkAnalyticCoverage(candidate, scns); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	progress := func(string) func(sweep.Progress) { return nil }
@@ -183,7 +234,7 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, cac
 	}
 
 	simStart := time.Now()
-	simResults := (&sweep.Runner{Workers: workers, Cache: cache, Backend: estimate.Sim{},
+	simResults := (&sweep.Runner{Workers: workers, Cache: cache, Backend: estimate.Sim{Memo: memo},
 		OnProgress: progress("sim")}).Run(scns)
 	simSecs := time.Since(simStart).Seconds()
 
@@ -201,7 +252,7 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, cac
 	pairs, err := sweep.Pair(simResults, estResults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	timing := &sweep.ValidationTiming{
 		Backend:    candidate.Name(),
@@ -213,7 +264,7 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, cac
 		return sweep.WriteValidation(w, title, pairs, timing)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	if csvPath != "" {
 		both := append(append([]sweep.Result(nil), simResults...), estResults...)
@@ -221,9 +272,10 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, cac
 			return sweep.WriteCSV(w, both)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 func countCached(results []sweep.Result) int {
@@ -238,15 +290,19 @@ func countCached(results []sweep.Result) int {
 
 // buildBackend constructs the named estimation backend. The calibrated
 // backend calibrates over the grid's own sizes, lengths, and
-// methodology, so its fits interpolate exactly where they are asked.
-func buildBackend(name string, spec sweep.Spec, cfg measure.Config, cache *sweep.Cache) (estimate.Backend, error) {
+// methodology, so its fits interpolate exactly where they are asked;
+// memo and workers feed its measurement dedup and calibration pool.
+func buildBackend(name string, spec sweep.Spec, cfg measure.Config, planner estimate.Planner, cache *sweep.Cache, memo *estimate.SampleMemo, workers int) (estimate.Backend, error) {
 	switch name {
 	case "sim", "":
-		return estimate.Sim{}, nil
+		return estimate.Sim{Memo: memo}, nil
 	case "analytic":
 		return estimate.PaperAnalytic(), nil
 	case "calibrated":
-		c := &estimate.Calibrated{Config: cfg, Sizes: spec.Sizes, Lengths: spec.Lengths}
+		c := &estimate.Calibrated{
+			Config: cfg, Sizes: spec.Sizes, Lengths: spec.Lengths,
+			Planner: planner, Memo: memo, Workers: workers,
+		}
 		if cache != nil {
 			c.Store = cache
 		}

@@ -1,0 +1,128 @@
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/golden"
+	"repro/internal/machine"
+	"repro/internal/sweep"
+)
+
+func machineByName(t *testing.T, name string) *machine.Machine {
+	t.Helper()
+	m := machine.ByName(name)
+	if m == nil {
+		t.Fatalf("unknown machine %q", name)
+	}
+	return m
+}
+
+// The determinism suite proves the cold-path optimizations changed
+// nothing but speed: sweep output and calibrated fits are byte-identical
+// across worker counts AND against goldens captured from the
+// pre-optimization engine (testdata/, regenerated only by
+// cmd/goldengen).
+
+var workerCounts = []int{1, 4, 8}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("missing golden (run `go run ./cmd/goldengen`): %v", err)
+	}
+	return blob
+}
+
+// TestSweepMatchesSeedAcrossWorkers runs the golden grid through the
+// sim backend at several worker counts; every run must render byte-for-
+// byte to the pre-optimization golden report.
+func TestSweepMatchesSeedAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the golden grid several times")
+	}
+	want := readGolden(t, "golden_sweep_sim.md")
+	scns, err := golden.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		runner := &sweep.Runner{Workers: w, Backend: estimate.Sim{Memo: estimate.NewSampleMemo()}}
+		got, err := golden.Markdown(runner.Run(scns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: sweep output diverged from the seed golden (len %d vs %d)",
+				w, len(got), len(want))
+		}
+	}
+}
+
+// TestCalibrationMatchesSeedAcrossWorkers precalibrates every golden
+// triple through pools of several sizes; the fitted expressions must
+// serialize byte-for-byte to the pre-optimization golden file.
+func TestCalibrationMatchesSeedAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates the golden triples several times")
+	}
+	want := readGolden(t, "golden_expressions.json")
+	for _, w := range workerCounts {
+		c := golden.Calibrated()
+		c.Memo = estimate.NewSampleMemo()
+		c.Precalibrate(golden.Triples(), w)
+		got, err := golden.ExpressionsJSON(golden.Expressions(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: calibrated expressions diverged from the seed golden", w)
+		}
+	}
+}
+
+// TestAdaptiveCalibrationDeterministicAcrossWorkers checks the adaptive
+// planner separately: its fits legitimately differ from the full-grid
+// goldens (that is the point), but they must not depend on worker count.
+func TestAdaptiveCalibrationDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates the golden triples twice")
+	}
+	fits := make([]map[string]string, 0, 2)
+	for _, w := range []int{1, 8} {
+		c := golden.Calibrated()
+		c.Memo = estimate.NewSampleMemo()
+		c.Planner = estimate.Planner{Adaptive: true}
+		c.Precalibrate(golden.Triples(), w)
+		flat := map[string]string{}
+		for k, e := range golden.Expressions(c) {
+			flat[k] = e.String()
+		}
+		fits = append(fits, flat)
+	}
+	if !reflect.DeepEqual(fits[0], fits[1]) {
+		t.Fatal("adaptive calibration depends on worker count")
+	}
+}
+
+// TestDefaultAliasSharesCalibration pins the memoization contract: the
+// "default" triple resolves to the vendor variant and reuses its
+// calibration instead of re-measuring.
+func TestDefaultAliasSharesCalibration(t *testing.T) {
+	c := golden.Calibrated()
+	c.Memo = estimate.NewSampleMemo()
+	mach := machineByName(t, "SP2")
+	_ = c.Expression(mach, "broadcast", "binomial") // vendor default for bcast
+	n := c.Memo.Len()
+	if n == 0 {
+		t.Fatal("calibration measured nothing")
+	}
+	_ = c.Expression(mach, "broadcast", "default")
+	if got := c.Memo.Len(); got != n {
+		t.Fatalf("default alias re-measured: memo grew %d -> %d", n, got)
+	}
+}

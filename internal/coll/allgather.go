@@ -29,7 +29,7 @@ func AllgatherGatherBcast(t Transport, mine []byte) [][]byte {
 	gathered := GatherBinomial(t, 0, mine)
 	var buf []byte
 	if t.Rank() == 0 {
-		buf = concat(gathered)
+		buf = merge(t, gathered)
 	}
 	buf = BcastBinomial(t, 0, buf)
 	return split(buf, p)

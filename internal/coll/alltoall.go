@@ -110,7 +110,7 @@ func AlltoallBruck(t Transport, blocks [][]byte) [][]byte {
 		}
 		dst := (rank + k) % p
 		src := (rank - k + p) % p
-		t.Send(dst, tagAlltoall+round<<8, concat(bundle))
+		t.Send(dst, tagAlltoall+round<<8, merge(t, bundle))
 		in := t.Recv(src, tagAlltoall+round<<8)
 		var parts [][]byte
 		if size > 0 {

@@ -1,0 +1,43 @@
+package coll
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The zero arena backs payload staging under opaque-payload transports
+// (see OpaqueTransport): algorithms that would copy message bytes into
+// a fresh buffer hand out a slice of this shared all-zero backing
+// instead. Arena slices are never written — opaque mode skips every
+// payload store — so overlapping reads from many goroutines are safe.
+// The arena pointer is published atomically: once it is big enough (a
+// few calls in), ZeroBytes is a lock-free load on every simulation
+// worker; the mutex only serializes growth.
+var (
+	zeroMu    sync.Mutex
+	zeroArena atomic.Pointer[[]byte]
+)
+
+// ZeroBytes returns an n-byte all-zero slice backed by the shared
+// arena. Callers must treat it as immutable; it is only for payloads
+// whose contents are immaterial (OpaqueTransport measurements).
+func ZeroBytes(n int) []byte {
+	if n == 0 {
+		return empty
+	}
+	if p := zeroArena.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n:n]
+	}
+	zeroMu.Lock()
+	defer zeroMu.Unlock()
+	if p := zeroArena.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n:n]
+	}
+	size := 64 << 10
+	for size < n {
+		size <<= 1
+	}
+	arena := make([]byte, size)
+	zeroArena.Store(&arena)
+	return arena[:n:n]
+}

@@ -38,7 +38,7 @@ func GatherBinomial(t Transport, root int, mine []byte) [][]byte {
 	for mask < p {
 		if v&mask != 0 {
 			// Ship my subtree to my parent as one message.
-			t.Send(unvrank(v-mask, root, p), tagGather, concat(sub))
+			t.Send(unvrank(v-mask, root, p), tagGather, merge(t, sub))
 			return nil
 		}
 		if v|mask < p {

@@ -24,13 +24,18 @@ func BcastScatterAllgather(t Transport, root int, data []byte) []byte {
 		if rem := padded % p; rem != 0 {
 			padded += p - rem
 		}
-		buf := make([]byte, padded)
-		copy(buf, data)
+		var buf []byte
+		if opaquePayloads(t) {
+			buf = ZeroBytes(padded)
+		} else {
+			buf = make([]byte, padded)
+			copy(buf, data)
+		}
 		blocks = split(buf, p)
 	}
 	mine := ScatterBinomial(t, root, blocks)
 	pieces := AllgatherRing(t, mine)
-	full := concat(pieces)
+	full := merge(t, pieces)
 
 	// Non-root ranks learn the original size from the root's header.
 	if t.Rank() == root {
@@ -62,5 +67,5 @@ func AllreduceRabenseifner(t Transport, mine []byte, f Combiner) []byte {
 		return AllreduceReduceBcast(t, mine, f)
 	}
 	myBlock := ReduceScatter(t, split(mine, p), f)
-	return concat(AllgatherRing(t, myBlock))
+	return merge(t, AllgatherRing(t, myBlock))
 }

@@ -43,13 +43,22 @@ func BcastPipelined(t Transport, root int, data []byte, segSize int) []byte {
 	if !last {
 		t.Send(next, tagBcast+0x80, hdr)
 	}
+	opaque := opaquePayloads(t)
 	var out []byte
+	total := 0
 	for s := 0; s < nseg; s++ {
 		seg := t.Recv(prev, tagBcast+0x81+(s%2)<<8)
 		if !last {
 			t.Send(next, tagBcast+0x81+(s%2)<<8, seg)
 		}
-		out = append(out, seg...)
+		if opaque {
+			total += len(seg)
+		} else {
+			out = append(out, seg...)
+		}
+	}
+	if opaque {
+		out = ZeroBytes(total)
 	}
 	return out
 }

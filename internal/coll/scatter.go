@@ -74,7 +74,7 @@ func ScatterBinomial(t Transport, root int, blocks [][]byte) []byte {
 	for mask := entry >> 1; mask > 0; mask >>= 1 {
 		child := v + mask
 		if child < p {
-			t.Send(unvrank(child, root, p), tagScatter, concat(sub[mask:]))
+			t.Send(unvrank(child, root, p), tagScatter, merge(t, sub[mask:]))
 			sub = sub[:mask]
 		}
 	}

@@ -39,6 +39,39 @@ type Transport interface {
 // returns the result. Implementations must not modify a or b.
 type Combiner func(a, b []byte) []byte
 
+// OpaqueTransport is an optional Transport capability: a transport may
+// declare that payload CONTENTS are immaterial to its users — only
+// lengths drive the simulation — so algorithms may skip payload byte
+// movement and stage messages out of the shared zero arena. The
+// measurement harness (whose buffers are all zeros and whose results
+// are discarded) runs this way; correctness tests and applications use
+// ordinary transports and real bytes. Control headers an algorithm
+// reads (segment counts, true lengths) are unaffected: they are built
+// and shipped verbatim either way.
+type OpaqueTransport interface {
+	OpaquePayloads() bool
+}
+
+// opaquePayloads reports whether t declared its payloads opaque.
+func opaquePayloads(t Transport) bool {
+	o, ok := t.(OpaqueTransport)
+	return ok && o.OpaquePayloads()
+}
+
+// merge concatenates blocks into the single buffer an algorithm ships
+// as one message. Under an opaque-payload transport it returns a zero
+// slab of the combined length instead of copying.
+func merge(t Transport, blocks [][]byte) []byte {
+	if opaquePayloads(t) {
+		n := 0
+		for _, b := range blocks {
+			n += len(b)
+		}
+		return ZeroBytes(n)
+	}
+	return concat(blocks)
+}
+
 // Tags used by the algorithms. Distinct phases use distinct tags so that
 // overlapping algorithm steps between the same pair of ranks can never
 // match the wrong message. FIFO per (src,dst,tag) makes back-to-back

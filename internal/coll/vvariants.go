@@ -82,7 +82,7 @@ func ReduceScatter(t Transport, blocks [][]byte, f Combiner) []byte {
 	}
 	checkUniform(blocks)
 	if p&(p-1) != 0 {
-		full := ReduceBinomial(t, 0, concat(blocks), f)
+		full := ReduceBinomial(t, 0, merge(t, blocks), f)
 		var split2 [][]byte
 		if rank == 0 {
 			split2 = split(full, p)
@@ -106,7 +106,7 @@ func ReduceScatter(t Transport, blocks [][]byte, f Combiner) []byte {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		t.Send(peer, tagReduce+0x200+round<<9, concat(cur[sendLo:sendHi]))
+		t.Send(peer, tagReduce+0x200+round<<9, merge(t, cur[sendLo:sendHi]))
 		in := split(t.Recv(peer, tagReduce+0x200+round<<9), keepHi-keepLo)
 		for i := keepLo; i < keepHi; i++ {
 			a, b := cur[i], in[i-keepLo]

@@ -3,6 +3,9 @@ package estimate
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/fit"
@@ -18,8 +21,16 @@ const BackendCalibrated = "calibrated"
 
 // calibrationVersion is baked into expression keys and the backend
 // provenance; bump it when the calibration procedure changes in a way
-// the key fields do not capture.
-const calibrationVersion = 1
+// the key fields do not capture. v2: keys carry the planner
+// configuration (the adaptive planner changes which grid cells feed a
+// fit).
+const calibrationVersion = 2
+
+// defaultAlg is the algorithm alias meaning "the machine's vendor table
+// entry" (sweep.DefaultAlgorithm; spelled out here to avoid an import
+// cycle). Triples calibrate under their resolved name, so the alias and
+// its eponymous variant share one calibration.
+const defaultAlg = "default"
 
 // ExpressionStore persists fitted expressions under content keys, so a
 // calibration survives across processes. *sweep.Cache implements it;
@@ -33,17 +44,82 @@ type ExpressionStore interface {
 	PutExpression(key, id string, e fit.Expression) error
 }
 
+// Planner controls how much of the sizes×lengths calibration grid a
+// triple actually measures. The zero value measures the full cross
+// product, which reproduces the pre-planner calibration bit for bit.
+type Planner struct {
+	// Adaptive, when true, measures message-length columns in
+	// ascending order and stops as soon as refitting with one more
+	// column moves no fitted coefficient by more than RelTol — the
+	// calibration-planning ROADMAP item. Startup-only grids (barrier)
+	// always measure fully.
+	Adaptive bool `json:"adaptive"`
+	// RelTol is the per-coefficient relative stability tolerance;
+	// ≤ 0 means 0.02. A coefficient is stable when
+	// |new−old| ≤ RelTol·max(|new|,|old|) + 1e-9 and its shape (p vs
+	// log p) did not flip.
+	RelTol float64 `json:"rel_tol"`
+	// MinLengths is the number of message-length columns measured
+	// before stability is first tested; ≤ 0 means 3. Values are clamped
+	// to [2, len(lengths)].
+	MinLengths int `json:"min_lengths"`
+}
+
+func (pl Planner) relTol() float64 {
+	if pl.RelTol <= 0 {
+		return 0.02
+	}
+	return pl.RelTol
+}
+
+// normalized canonicalizes the planner for provenance and cache keys:
+// a disabled planner is the zero value whatever its other fields say
+// (they have no effect), and an enabled one pins its defaults and the
+// MinLengths lower clamp, so configurations that compute identically
+// key identically. (MinLengths values above the grid's column count
+// also compute identically but stay distinct here: the backend-level
+// provenance cannot know the per-op column count.)
+func (pl Planner) normalized() Planner {
+	if !pl.Adaptive {
+		return Planner{}
+	}
+	pl.RelTol = pl.relTol()
+	if pl.MinLengths <= 0 {
+		pl.MinLengths = 3
+	} else if pl.MinLengths < 2 {
+		pl.MinLengths = 2
+	}
+	return pl
+}
+
+func (pl Planner) minLengths(total int) int {
+	n := pl.MinLengths
+	if n <= 0 {
+		n = 3
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n > total {
+		n = total
+	}
+	return n
+}
+
 // Calibrated is the measure-then-model backend: on the first request
 // for a (machine, op, algorithm) triple it runs a small seeded sim
 // sweep over the calibration grid, fits a Table 3-style expression with
 // fit.TwoStage, persists it through Store (when set), and from then on
 // serves that triple in closed form at analytic speed. Unlike Analytic
 // it distinguishes registry algorithm variants, because each variant is
-// calibrated separately.
+// calibrated separately; the "default" alias resolves to the vendor
+// table entry and shares its calibration.
 //
 // The zero value calibrates over the paper's grid with the fast
-// methodology. Fields must not be mutated after the first Estimate
-// call; Estimate itself is safe for concurrent use.
+// methodology, one triple at a time on demand. Precalibrate fits many
+// triples up front through a bounded worker pool. Fields must not be
+// mutated after the first Estimate call; Estimate itself is safe for
+// concurrent use.
 type Calibrated struct {
 	// Config is the calibration methodology; the zero value means
 	// measure.Fast().
@@ -55,9 +131,19 @@ type Calibrated struct {
 	// Lengths are the calibration message lengths; nil means
 	// paper.MessageLengths. Barriers always calibrate at length 0.
 	Lengths []int
+	// Planner bounds the measured grid; the zero value measures it
+	// fully.
+	Planner Planner
 	// Store, when non-nil, persists fitted expressions across
 	// processes under content keys.
 	Store ExpressionStore
+	// Memo, when non-nil, dedups the calibration's individual
+	// measurements with any other memo user (e.g. a Sim backend in the
+	// same validation run).
+	Memo *SampleMemo
+	// Workers bounds Precalibrate's default pool; ≤ 0 means
+	// runtime.GOMAXPROCS.
+	Workers int
 
 	mu  sync.Mutex
 	cal map[calTriple]*calEntry
@@ -66,7 +152,7 @@ type Calibrated struct {
 type calTriple struct {
 	mach string
 	op   machine.Op
-	alg  string
+	alg  string // always a resolved (non-alias) name
 }
 
 type calEntry struct {
@@ -74,18 +160,28 @@ type calEntry struct {
 	expr fit.Expression
 }
 
+// Triple identifies one calibration unit for Precalibrate. Alg may be
+// the "default" alias or empty for the vendor table entry.
+type Triple struct {
+	Machine *machine.Machine
+	Op      machine.Op
+	Alg     string
+}
+
 // Name returns "calibrated".
 func (*Calibrated) Name() string { return BackendCalibrated }
 
-// Provenance hashes the calibration spec (grid and methodology), so
-// sweep-cache entries derived from one calibration never serve another.
+// Provenance hashes the calibration spec (grid, methodology, and
+// planner), so sweep-cache entries derived from one calibration never
+// serve another.
 func (c *Calibrated) Provenance() string {
 	blob, err := json.Marshal(struct {
 		V       int            `json:"v"`
 		Sizes   []int          `json:"sizes"`
 		Lengths []int          `json:"lengths"`
 		Config  measure.Config `json:"config"`
-	}{calibrationVersion, c.Sizes, c.Lengths, c.config()})
+		Planner Planner        `json:"planner"`
+	}{calibrationVersion, c.Sizes, c.Lengths, c.config(), c.Planner.normalized()})
 	if err != nil {
 		panic(fmt.Sprintf("estimate: calibrated provenance: %v", err))
 	}
@@ -107,8 +203,13 @@ func (c *Calibrated) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Alg
 }
 
 // Expression returns the fitted expression for one (machine, op,
-// algorithm) triple, calibrating or loading it on first use.
+// algorithm) triple, calibrating or loading it on first use. The
+// "default" alias (or an empty name) resolves to the machine's vendor
+// table entry, sharing that variant's calibration.
 func (c *Calibrated) Expression(mach *machine.Machine, op machine.Op, alg string) fit.Expression {
+	if alg == "" || alg == defaultAlg {
+		alg = mpi.DefaultAlgorithms(mach).Get(op)
+	}
 	k := calTriple{mach.Name(), op, alg}
 	c.mu.Lock()
 	if c.cal == nil {
@@ -124,10 +225,71 @@ func (c *Calibrated) Expression(mach *machine.Machine, op machine.Op, alg string
 	return entry.expr
 }
 
+// Precalibrate fits every distinct triple (after default-alias
+// resolution) through a bounded worker pool, so a sweep's cold
+// calibration runs concurrently instead of triple by triple on first
+// touch. workers ≤ 0 uses c.Workers, then GOMAXPROCS. Safe to call
+// repeatedly; already-calibrated triples cost nothing.
+func (c *Calibrated) Precalibrate(triples []Triple, workers int) {
+	seen := map[calTriple]bool{}
+	work := make([]Triple, 0, len(triples))
+	for _, tr := range triples {
+		alg := tr.Alg
+		if alg == "" || alg == defaultAlg {
+			alg = mpi.DefaultAlgorithms(tr.Machine).Get(tr.Op)
+		}
+		k := calTriple{tr.Machine.Name(), tr.Op, alg}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		work = append(work, Triple{tr.Machine, tr.Op, alg})
+	}
+	if workers <= 0 {
+		workers = c.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, tr := range work {
+			c.Expression(tr.Machine, tr.Op, tr.Alg)
+		}
+		return
+	}
+	jobs := make(chan Triple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tr := range jobs {
+				c.Expression(tr.Machine, tr.Op, tr.Alg)
+			}
+		}()
+	}
+	for _, tr := range work {
+		jobs <- tr
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // Predictor calibrates every (machine, op) with the vendor-default
 // algorithm table and returns an analytic predictor over the fits —
-// the regenerated-Table 3 counterpart of model.FromPaper.
+// the regenerated-Table 3 counterpart of model.FromPaper. Calibration
+// runs through the Precalibrate pool.
 func (c *Calibrated) Predictor(machines []*machine.Machine, ops []machine.Op) *model.Predictor {
+	var triples []Triple
+	for _, mach := range machines {
+		for _, op := range ops {
+			triples = append(triples, Triple{mach, op, defaultAlg})
+		}
+	}
+	c.Precalibrate(triples, 0)
 	exprs := map[string]map[machine.Op]fit.Expression{}
 	for _, mach := range machines {
 		algs := mpi.DefaultAlgorithms(mach)
@@ -141,7 +303,7 @@ func (c *Calibrated) Predictor(machines []*machine.Machine, ops []machine.Op) *m
 }
 
 // calibrate runs the triple's calibration sweep (or loads a stored fit)
-// and returns the expression.
+// and returns the expression. alg is already resolved.
 func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string) fit.Expression {
 	sizes := c.sizesFor(mach)
 	lengths := c.lengthsFor(op)
@@ -149,22 +311,73 @@ func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string)
 
 	var key string
 	if c.Store != nil {
-		key = expressionKey(mach, op, alg, sizes, lengths, cfg)
+		key = expressionKey(mach, op, alg, sizes, lengths, cfg, c.Planner.normalized())
 		if e, ok := c.Store.GetExpression(key); ok {
 			return e
 		}
 	}
-	algs := mpi.DefaultAlgorithms(mach)
-	if alg != "" && alg != "default" {
-		algs = algs.With(op, alg)
+	algs := mpi.DefaultAlgorithms(mach).With(op, alg)
+	startupShape := paper.StartupShape(op)
+	perByteShape := paper.PerByteShape(mach.Name(), op)
+	var e fit.Expression
+	if c.Planner.Adaptive && len(lengths) > 2 {
+		e = c.adaptiveFit(mach, op, algs, sizes, lengths, cfg, startupShape, perByteShape)
+	} else {
+		d := c.Memo.Dataset(mach, op, algs, sizes, lengths, cfg)
+		e = fit.TwoStage(d, startupShape, perByteShape)
 	}
-	d := BuildDataset(mach, op, algs, sizes, lengths, cfg)
-	e := fit.TwoStage(d, paper.StartupShape(op), paper.PerByteShape(mach.Name(), op))
 	if c.Store != nil {
 		id := fmt.Sprintf("%s/%s[%s] calibration", mach.Name(), op, alg)
 		_ = c.Store.PutExpression(key, id, e) // best-effort, like sample caching
 	}
 	return e
+}
+
+// adaptiveFit measures message-length columns — every machine size per
+// column — refitting after each one past the planner's minimum, and
+// stops as soon as the fit stabilizes. The initial set is the shortest
+// MinLengths−1 columns (they anchor the startup term) plus the longest
+// column (it dominates the per-byte slope, and pinning it keeps a
+// mid-range protocol switch — eager to rendezvous — from being
+// extrapolated over); the remaining columns then join in ascending
+// order until two consecutive fits agree within tolerance.
+func (c *Calibrated) adaptiveFit(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, sizes, lengths []int, cfg measure.Config, startupShape, perByteShape fit.FormKind) fit.Expression {
+	d := &fit.Dataset{}
+	measureColumn := func(m int) {
+		for _, p := range sizes {
+			d.Add(p, m, c.Memo.Measure(mach, op, algs, p, m, cfg).Micros)
+		}
+	}
+	min := c.Planner.minLengths(len(lengths))
+	for i := 0; i < min-1; i++ {
+		measureColumn(lengths[i])
+	}
+	measureColumn(lengths[len(lengths)-1])
+	prev := fit.TwoStage(d, startupShape, perByteShape)
+	tol := c.Planner.relTol()
+	for i := min - 1; i < len(lengths)-1; i++ {
+		measureColumn(lengths[i])
+		next := fit.TwoStage(d, startupShape, perByteShape)
+		if exprStable(prev, next, tol) {
+			return next
+		}
+		prev = next
+	}
+	return prev
+}
+
+// exprStable reports whether two successive fits agree within tol on
+// every coefficient, with no shape flip.
+func exprStable(a, b fit.Expression, tol float64) bool {
+	return a.Startup.Kind == b.Startup.Kind && a.PerByte.Kind == b.PerByte.Kind &&
+		coefStable(a.Startup.A, b.Startup.A, tol) &&
+		coefStable(a.Startup.B, b.Startup.B, tol) &&
+		coefStable(a.PerByte.A, b.PerByte.A, tol) &&
+		coefStable(a.PerByte.B, b.PerByte.B, tol)
+}
+
+func coefStable(x, y, tol float64) bool {
+	return math.Abs(x-y) <= tol*math.Max(math.Abs(x), math.Abs(y))+1e-9
 }
 
 func (c *Calibrated) config() measure.Config {
@@ -192,6 +405,10 @@ func (c *Calibrated) sizesFor(mach *machine.Machine) []int {
 	return out
 }
 
+// lengthsFor returns the calibration lengths for op, sorted ascending
+// and deduplicated: the fit is order-independent, but the adaptive
+// planner's column schedule (shortest first, longest anchor) and the
+// canonical expression key both rely on the normalized order.
 func (c *Calibrated) lengthsFor(op machine.Op) []int {
 	if op == machine.OpBarrier {
 		return []int{0}
@@ -199,14 +416,22 @@ func (c *Calibrated) lengthsFor(op machine.Op) []int {
 	if len(c.Lengths) == 0 {
 		return paper.MessageLengths()
 	}
-	return c.Lengths
+	lengths := append([]int(nil), c.Lengths...)
+	sort.Ints(lengths)
+	out := lengths[:0]
+	for i, m := range lengths {
+		if i == 0 || m != lengths[i-1] {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // expressionKey is the content key of one triple's fit: identical
-// calibration inputs — machine constants, operation, algorithm, grid,
-// methodology — always produce the same key, and any drift produces a
-// different one.
-func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, lengths []int, cfg measure.Config) string {
+// calibration inputs — machine constants, operation, resolved
+// algorithm, grid, methodology, planner — always produce the same key,
+// and any drift produces a different one.
+func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, lengths []int, cfg measure.Config, pl Planner) string {
 	blob, err := json.Marshal(struct {
 		V           int            `json:"v"`
 		Calibration string         `json:"calibration"`
@@ -215,7 +440,8 @@ func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, leng
 		Sizes       []int          `json:"sizes"`
 		Lengths     []int          `json:"lengths"`
 		Config      measure.Config `json:"config"`
-	}{calibrationVersion, Fingerprint(mach), op, alg, sizes, lengths, cfg})
+		Planner     Planner        `json:"planner"`
+	}{calibrationVersion, Fingerprint(mach), op, alg, sizes, lengths, cfg, pl})
 	if err != nil {
 		panic(fmt.Sprintf("estimate: expression key %s/%s[%s]: %v", mach.Name(), op, alg, err))
 	}

@@ -88,16 +88,10 @@ func hashJSON(blob []byte) string {
 // BuildDataset measures op across machine sizes and message lengths
 // under an explicit algorithm table and returns the dataset for curve
 // fitting — the measurement loop behind the Calibrated backend's
-// calibration routine (formerly measure.Sweep).
+// calibration routine (formerly measure.Sweep). SampleMemo.Dataset is
+// the memoized equivalent.
 func BuildDataset(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, sizes, lengths []int, cfg measure.Config) *fit.Dataset {
-	d := &fit.Dataset{}
-	for _, p := range sizes {
-		for _, m := range lengths {
-			s := measure.MeasureOpWith(mach, op, p, m, cfg, algs)
-			d.Add(p, m, s.Micros)
-		}
-	}
-	return d
+	return (*SampleMemo)(nil).Dataset(mach, op, algs, sizes, lengths, cfg)
 }
 
 // Compare estimates one collective configuration on several machines

@@ -1,0 +1,101 @@
+package estimate
+
+import (
+	"sync"
+
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// SampleMemo is an in-process, concurrency-safe memo of simulator
+// measurements keyed by their full identity: machine calibration
+// fingerprint, operation, the complete algorithm table, grid point, and
+// methodology (including seed). Two requests with identical keys are
+// identical simulations, so the memo serves the second from memory —
+// and in-flight duplicates wait for the first instead of re-simulating.
+//
+// Sharing one memo between the Sim backend and a Calibrated backend
+// makes their overlap free: a -validate run measures each grid cell
+// once instead of twice (the sim pass and the calibration sweep ask for
+// the same cells), and a "default"-algorithm scenario reuses the
+// eponymous variant's measurement because their resolved algorithm
+// tables are equal.
+//
+// A nil *SampleMemo is valid and simply measures every request.
+type SampleMemo struct {
+	mu      sync.Mutex
+	entries map[sampleKey]*sampleEntry
+	prints  map[*machine.Machine]string // fingerprint cache
+}
+
+type sampleKey struct {
+	fingerprint string
+	op          machine.Op
+	algs        mpi.Algorithms
+	p, m        int
+	cfg         measure.Config
+}
+
+type sampleEntry struct {
+	once   sync.Once
+	sample measure.Sample
+}
+
+// NewSampleMemo returns an empty memo.
+func NewSampleMemo() *SampleMemo {
+	return &SampleMemo{
+		entries: map[sampleKey]*sampleEntry{},
+		prints:  map[*machine.Machine]string{},
+	}
+}
+
+// Len returns the number of distinct measurements memoized.
+func (mo *SampleMemo) Len() int {
+	if mo == nil {
+		return 0
+	}
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return len(mo.entries)
+}
+
+// Measure returns the §2 measurement of one configuration, running the
+// simulation only if no identical measurement is memoized or in flight.
+func (mo *SampleMemo) Measure(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) measure.Sample {
+	if mo == nil {
+		return measure.MeasureOpWith(mach, op, p, m, cfg, algs)
+	}
+	mo.mu.Lock()
+	print, ok := mo.prints[mach]
+	if !ok {
+		mo.mu.Unlock()
+		print = Fingerprint(mach) // hash outside the lock; idempotent
+		mo.mu.Lock()
+		mo.prints[mach] = print
+	}
+	key := sampleKey{print, op, algs, p, m, cfg}
+	e, ok := mo.entries[key]
+	if !ok {
+		e = &sampleEntry{}
+		mo.entries[key] = e
+	}
+	mo.mu.Unlock()
+	e.once.Do(func() {
+		e.sample = measure.MeasureOpWith(mach, op, p, m, cfg, algs)
+	})
+	return e.sample
+}
+
+// Dataset measures op across machine sizes and message lengths through
+// the memo and returns the dataset for curve fitting.
+func (mo *SampleMemo) Dataset(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, sizes, lengths []int, cfg measure.Config) *fit.Dataset {
+	d := &fit.Dataset{}
+	for _, p := range sizes {
+		for _, m := range lengths {
+			d.Add(p, m, mo.Measure(mach, op, algs, p, m, cfg).Micros)
+		}
+	}
+	return d
+}

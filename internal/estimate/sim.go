@@ -13,19 +13,29 @@ const BackendSim = "sim"
 // procedure (warm-up, k timed iterations, max-reduce over ranks,
 // repeated executions) on the discrete-event simulator. Slow and exact;
 // every other backend is validated against it.
-type Sim struct{}
+type Sim struct {
+	// Memo, when non-nil, serves measurements that are identical by
+	// construction (same machine constants, full algorithm table, grid
+	// point, and methodology) from memory instead of re-simulating.
+	// Results are unchanged; sharing one memo with a Calibrated backend
+	// also makes sim-vs-calibrated validation reuse the calibration's
+	// samples.
+	Memo *SampleMemo
+}
 
 // Name returns "sim".
 func (Sim) Name() string { return BackendSim }
 
 // Provenance is empty: sim results are fully determined by the scenario
-// and the machine calibration, both of which cache keys already cover.
+// and the machine calibration, both of which cache keys already cover
+// (the memo only dedups identical runs).
 func (Sim) Provenance() string { return "" }
 
-// Estimate measures the collective with measure.MeasureOpWith.
-func (Sim) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate {
+// Estimate measures the collective with measure.MeasureOpWith, through
+// the memo when one is attached.
+func (s Sim) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate {
 	return Estimate{
-		Sample:  measure.MeasureOpWith(mach, op, p, m, cfg, algs),
+		Sample:  s.Memo.Measure(mach, op, algs, p, m, cfg),
 		Backend: BackendSim,
 	}
 }

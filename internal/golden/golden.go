@@ -1,0 +1,96 @@
+// Package golden pins the determinism surface of the estimation engine:
+// one fixed sweep grid and one fixed calibration set whose outputs are
+// compared byte for byte against committed goldens (testdata/ at the
+// repository root) by the determinism tests, and regenerated only by
+// cmd/goldengen. The committed files were produced by the
+// pre-optimization engine, so they also prove that every optimization
+// since — the direct-switch kernel, opaque payloads, measurement
+// memoization, parallel calibration — changed nothing but speed.
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/coll"
+	"repro/internal/estimate"
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/sweep"
+)
+
+// Spec is the fixed grid the goldens pin down: every machine,
+// operation, and algorithm variant at two machine sizes and three
+// message lengths — small enough to simulate in tests, wide enough to
+// cross every collective code path.
+func Spec() sweep.Spec {
+	return sweep.Spec{
+		Algorithms: sweep.AllAlgorithms(machine.Ops),
+		Sizes:      []int{8, 32},
+		Lengths:    []int{4, 1024, 65536},
+		Config:     measure.Fast(),
+	}
+}
+
+// Scenarios expands Spec.
+func Scenarios() ([]sweep.Scenario, error) {
+	return Spec().Expand()
+}
+
+// Markdown renders results the way the golden file stores them.
+func Markdown(results []sweep.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	title := fmt.Sprintf("Determinism golden — %d scenarios (sim backend)", len(results))
+	if err := sweep.WriteMarkdown(&buf, title, results); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Calibrated returns a backend configured for the golden grid.
+func Calibrated() *estimate.Calibrated {
+	spec := Spec()
+	return &estimate.Calibrated{Config: spec.Config, Sizes: spec.Sizes, Lengths: spec.Lengths}
+}
+
+// Triples enumerates every (machine, op, algorithm) calibration triple
+// of the golden set, including the "default" alias.
+func Triples() []estimate.Triple {
+	var out []estimate.Triple
+	for _, mach := range machine.All() {
+		for _, op := range machine.Ops {
+			algs := append([]string{sweep.DefaultAlgorithm}, coll.Algorithms(string(op))...)
+			if op == machine.OpBarrier && mach.HardwareBarrier() {
+				algs = append(algs, coll.AlgHardware)
+			}
+			sort.Strings(algs)
+			for _, alg := range algs {
+				out = append(out, estimate.Triple{Machine: mach, Op: op, Alg: alg})
+			}
+		}
+	}
+	return out
+}
+
+// Expressions fits every golden triple on c and returns them keyed
+// "machine/op/alg".
+func Expressions(c *estimate.Calibrated) map[string]fit.Expression {
+	out := map[string]fit.Expression{}
+	for _, tr := range Triples() {
+		out[fmt.Sprintf("%s/%s/%s", tr.Machine.Name(), tr.Op, tr.Alg)] = c.Expression(tr.Machine, tr.Op, tr.Alg)
+	}
+	return out
+}
+
+// ExpressionsJSON renders expressions the way the golden file stores
+// them (sorted keys, indented, trailing newline).
+func ExpressionsJSON(exprs map[string]fit.Expression) ([]byte, error) {
+	blob, err := json.MarshalIndent(exprs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}

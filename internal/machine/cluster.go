@@ -49,6 +49,31 @@ func NewCluster(m *Machine, p int, seed int64) *Cluster {
 	return c
 }
 
+// Reset returns the cluster to the state NewCluster(m, p, seed)
+// produces — kernel clock at zero, reseeded RNG, clean network
+// occupancy, freshly drawn clock skews — while reusing the kernel,
+// topology, and network storage. It mirrors NewCluster's RNG
+// consumption order exactly (skews are drawn first), so a Reset cluster
+// reproduces a fresh allocation bit for bit. The kernel must have been
+// driven to completion first (sim.Kernel.Reset panics otherwise).
+func (c *Cluster) Reset(seed int64) {
+	c.k.Reset(seed)
+	c.net.Reset()
+	maxSkew := c.mach.Params().ClockSkewMax
+	for i := range c.skew {
+		c.skew[i] = 0
+	}
+	if maxSkew > 0 {
+		for i := range c.skew {
+			c.skew[i] = sim.Duration(c.k.Rand().Int63n(int64(maxSkew)))
+		}
+	}
+	if c.hw != nil {
+		c.hw.cnt = 0
+		c.hw.sig = sim.NewSignal(c.k, "hw-barrier")
+	}
+}
+
 // Machine returns the machine model.
 func (c *Cluster) Machine() *Machine { return c.mach }
 

@@ -20,6 +20,7 @@ package measure
 import (
 	"fmt"
 
+	"repro/internal/coll"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/paper"
@@ -68,15 +69,24 @@ func MeasureOp(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config) 
 
 // MeasureOpWith is MeasureOp with an explicit algorithm table, used by
 // the sweep engine to compare collective algorithm variants on the same
-// machine.
+// machine. One kernel+cluster serves all executions (reset between
+// repetitions), and the benchmark runs with opaque payloads: the
+// harness's buffers are all zeros and its data is discarded, so the
+// collectives skip payload byte movement while simulating identical
+// timings.
 func MeasureOpWith(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, algs mpi.Algorithms) Sample {
 	if cfg.K < 1 || cfg.Reps < 1 {
 		panic("measure: need K ≥ 1 and Reps ≥ 1")
 	}
+	cl := machine.NewCluster(mach, p, cfg.Seed)
+	locals := make([]sim.Duration, p)
 	reps := make([]float64, 0, cfg.Reps)
 	var minSum, meanSum float64
 	for rep := 0; rep < cfg.Reps; rep++ {
-		r := runOnce(mach, op, p, msgLen, cfg, int64(rep), algs)
+		if rep > 0 {
+			cl.Reset(cfg.Seed + int64(rep))
+		}
+		r := runOnce(cl, op, msgLen, cfg, algs, locals)
 		reps = append(reps, r.Max)
 		minSum += r.Min
 		meanSum += r.Mean
@@ -89,12 +99,10 @@ func MeasureOpWith(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Conf
 	}
 }
 
-// runOnce executes one benchmark program and returns the per-rank
+// runOnce executes one benchmark program on cl and returns the per-rank
 // summary (the paper's min/max/mean over all processes) in µs.
-func runOnce(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, rep int64, algs mpi.Algorithms) stats.Summary {
-	cl := machine.NewCluster(mach, p, cfg.Seed+rep)
-	locals := make([]sim.Duration, p)
-	err := mpi.RunWithAlgorithms(cl, algs, func(c *mpi.Comm) {
+func runOnce(cl *machine.Cluster, op machine.Op, msgLen int, cfg Config, algs mpi.Algorithms, locals []sim.Duration) stats.Summary {
+	err := mpi.RunWith(cl, mpi.RunOptions{Algorithms: algs, OpaquePayloads: true}, func(c *mpi.Comm) {
 		body := opBody(c, op, msgLen)
 		for w := 0; w < cfg.Warmup; w++ {
 			body()
@@ -108,7 +116,8 @@ func runOnce(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, re
 		locals[c.Rank()] = end.Sub(start) / sim.Duration(cfg.K)
 	})
 	if err != nil {
-		panic(fmt.Sprintf("measure: %s %s p=%d m=%d: %v", mach.Name(), op, p, msgLen, err))
+		panic(fmt.Sprintf("measure: %s %s p=%d m=%d: %v",
+			cl.Machine().Name(), op, cl.Size(), msgLen, err))
 	}
 	// communication-time = maximum-reduce(local-time). Collected
 	// host-side so the measurement itself does not perturb timing; the
@@ -122,13 +131,15 @@ func runOnce(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, re
 }
 
 // opBody returns a closure executing one instance of the collective with
-// the per-pair message length the paper's m denotes.
+// the per-pair message length the paper's m denotes. Buffers come from
+// the shared zero arena (the run is opaque-payload), so a body costs no
+// per-rank payload allocation.
 func opBody(c *mpi.Comm, op machine.Op, msgLen int) func() {
 	p := c.Size()
 	mkBlocks := func() [][]byte {
 		blocks := make([][]byte, p)
 		for i := range blocks {
-			blocks[i] = make([]byte, msgLen)
+			blocks[i] = coll.ZeroBytes(msgLen)
 		}
 		return blocks
 	}
@@ -138,11 +149,11 @@ func opBody(c *mpi.Comm, op machine.Op, msgLen int) func() {
 	case machine.OpBroadcast:
 		var msg []byte
 		if c.Rank() == 0 {
-			msg = make([]byte, msgLen)
+			msg = coll.ZeroBytes(msgLen)
 		}
 		return func() { c.Bcast(0, msg) }
 	case machine.OpGather:
-		mine := make([]byte, msgLen)
+		mine := coll.ZeroBytes(msgLen)
 		return func() { c.Gather(0, mine) }
 	case machine.OpScatter:
 		var blocks [][]byte
@@ -154,16 +165,16 @@ func opBody(c *mpi.Comm, op machine.Op, msgLen int) func() {
 		blocks := mkBlocks()
 		return func() { c.Alltoall(blocks) }
 	case machine.OpReduce:
-		mine := make([]byte, msgLen)
+		mine := coll.ZeroBytes(msgLen)
 		return func() { c.Reduce(0, mine, mpi.Sum, mpi.Float) }
 	case machine.OpScan:
-		mine := make([]byte, msgLen)
+		mine := coll.ZeroBytes(msgLen)
 		return func() { c.Scan(mine, mpi.Sum, mpi.Float) }
 	case machine.OpAllgather:
-		mine := make([]byte, msgLen)
+		mine := coll.ZeroBytes(msgLen)
 		return func() { c.Allgather(mine) }
 	case machine.OpAllreduce:
-		mine := make([]byte, msgLen)
+		mine := coll.ZeroBytes(msgLen)
 		return func() { c.Allreduce(mine, mpi.Sum, mpi.Float) }
 	}
 	panic("measure: unknown operation " + string(op))

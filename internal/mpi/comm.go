@@ -166,12 +166,21 @@ func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte 
 }
 
 // Combine implements coll.Transport: it applies the reduction step and
-// charges the machine's arithmetic cost for this operation class.
+// charges the machine's arithmetic cost for this operation class. Under
+// opaque payloads the cost is still charged but the data untouched —
+// the merged operand has a's length either way.
 func (c *Comm) Combine(a, b []byte, f coll.Combiner) []byte {
 	cl := c.w.cluster
 	size := len(a)
 	if cost := cl.Machine().CombineCost(c.opClass, size); cost > 0 {
 		c.proc.Sleep(cl.Jitter(cost))
 	}
+	if c.w.opaque {
+		return a
+	}
 	return f(a, b)
 }
+
+// OpaquePayloads implements coll.OpaqueTransport: it reports whether
+// this world runs with length-only payloads (RunOptions.OpaquePayloads).
+func (c *Comm) OpaquePayloads() bool { return c.w.opaque }

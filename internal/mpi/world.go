@@ -69,6 +69,23 @@ type World struct {
 	cluster *machine.Cluster
 	ranks   []*rankState
 	algs    Algorithms
+	opaque  bool
+}
+
+// RunOptions bundles the execution knobs of one SPMD run.
+type RunOptions struct {
+	// Algorithms is the collective algorithm table; the zero value
+	// selects the machine's vendor defaults.
+	Algorithms Algorithms
+	// OpaquePayloads declares that the rank bodies never read message
+	// payload contents — only lengths matter. The collectives then skip
+	// payload byte movement (staging buffers come from the shared zero
+	// arena, reductions charge their simulated cost without touching
+	// data), which is what the measurement harness wants: its buffers
+	// are all zeros and its results are discarded. Simulated timings
+	// are identical either way, because no cost in the model depends on
+	// payload contents.
+	OpaquePayloads bool
 }
 
 // Run executes body as p concurrent rank processes on a fresh cluster of
@@ -89,10 +106,19 @@ func RunCluster(cl *machine.Cluster, body func(c *Comm)) error {
 // used by the ablation benchmarks to compare collective algorithms on
 // the same machine.
 func RunWithAlgorithms(cl *machine.Cluster, algs Algorithms, body func(c *Comm)) error {
+	return RunWith(cl, RunOptions{Algorithms: algs}, body)
+}
+
+// RunWith is RunCluster with explicit options.
+func RunWith(cl *machine.Cluster, opt RunOptions, body func(c *Comm)) error {
+	if opt.Algorithms == (Algorithms{}) {
+		opt.Algorithms = DefaultAlgorithms(cl.Machine())
+	}
 	w := &World{
 		cluster: cl,
 		ranks:   make([]*rankState, cl.Size()),
-		algs:    algs,
+		algs:    opt.Algorithms,
+		opaque:  opt.OpaquePayloads,
 	}
 	for i := range w.ranks {
 		w.ranks[i] = &rankState{}

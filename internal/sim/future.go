@@ -33,8 +33,7 @@ func (f *Future[T]) Resolve(v T) {
 	f.resolved = true
 	f.value = v
 	for _, w := range f.waiters {
-		w := w
-		f.k.After(0, func() { f.k.dispatch(w) })
+		f.k.wake(w, 0)
 	}
 	f.waiters = nil
 }

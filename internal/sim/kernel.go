@@ -3,19 +3,32 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // Kernel is a discrete-event simulation executive. It owns the virtual
 // clock and the event queue. A Kernel is not safe for concurrent use;
 // all simulated activity is serialized through Run.
+//
+// Internally the kernel uses direct-switch scheduling: exactly one
+// goroutine — the Run caller or one simulated process — holds the
+// execution token at any time, and whoever holds it drains the event
+// queue. Callback events run inline on the token holder; a process
+// wakeup hands the token straight to that process's goroutine, so a
+// process switch costs a single channel synchronization, and a process
+// whose own wakeup is the next event simply keeps running with no
+// switch at all.
 type Kernel struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 
-	// yield is the channel on which a running process hands control
-	// back to the kernel. Exactly one goroutine (the kernel or a single
-	// process) is ever active, so one shared channel suffices.
+	// deadline bounds the current drive (RunUntil); events beyond it
+	// stay queued.
+	deadline Time
+
+	// yield is the channel on which the token returns to the Run caller
+	// when driving stops (queue drained, deadline reached, or failure).
 	yield chan struct{}
 
 	procs    map[*Proc]struct{} // live (spawned, not finished) processes
@@ -35,6 +48,26 @@ func New(seed int64) *Kernel {
 	}
 }
 
+// Reset returns the kernel to the state New(seed) creates — clock at
+// zero, empty event queue, reseeded RNG, counters cleared — while
+// keeping the event queue's storage for reuse. It is the cheap way to
+// run many independent executions (the §2 benchmark repetitions) on one
+// kernel. Resetting a kernel whose processes are still live (Run
+// returned an error, or was never driven to completion) panics: their
+// goroutines are parked and cannot be reclaimed.
+func (k *Kernel) Reset(seed int64) {
+	if n := len(k.procs); n > 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live process(es): %s", n, k.parkedNames()))
+	}
+	k.now = 0
+	k.seq = 0
+	k.procSeq = 0
+	k.executed = 0
+	k.failure = nil
+	k.events.reset()
+	k.rng.Seed(seed)
+}
+
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
@@ -51,7 +84,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	k.events.push(&event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -63,6 +96,17 @@ func (k *Kernel) After(d Duration, fn func()) {
 	k.At(k.now.Add(d), fn)
 }
 
+// wake schedules p to resume d after the current time, allocating
+// nothing: the wakeup is stored by value in the event queue.
+func (k *Kernel) wake(p *Proc, d Duration) {
+	t := k.now
+	if d > 0 {
+		t = t.Add(d)
+	}
+	k.seq++
+	k.events.push(event{at: t, seq: k.seq, proc: p})
+}
+
 // Run executes events until the queue is empty. It returns an error if a
 // process panicked, or if the queue drained while processes were still
 // parked (a deadlock in the simulated system).
@@ -71,40 +115,75 @@ func (k *Kernel) Run() error { return k.RunUntil(Time(1<<63 - 1)) }
 // RunUntil executes events with time ≤ deadline. The clock stops at the
 // last executed event (it does not jump to the deadline).
 func (k *Kernel) RunUntil(deadline Time) error {
-	for len(k.events) > 0 {
-		if k.events[0].at > deadline {
-			return k.failure
+	k.deadline = deadline
+	for k.failure == nil {
+		p := k.next()
+		if p == nil {
+			break
 		}
-		e := k.events.pop()
-		k.now = e.at
-		k.executed++
-		e.fn()
-		if k.failure != nil {
-			return k.failure
-		}
+		p.resume <- struct{}{} // hand the token into the simulation
+		<-k.yield              // token returns when driving stops
 	}
-	if n := len(k.procs); n > 0 {
-		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events: %s", n, k.parkedNames())
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.events.len() == 0 {
+		if n := len(k.procs); n > 0 {
+			return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events: %s", n, k.parkedNames())
+		}
 	}
 	return nil
 }
 
+// next drains callback events inline and returns the next process to
+// hand the token to, or nil when driving must stop (queue drained,
+// deadline reached, or failure recorded).
+func (k *Kernel) next() *Proc {
+	for k.failure == nil {
+		if k.events.len() == 0 || k.events.minTime() > k.deadline {
+			return nil
+		}
+		e := k.events.pop()
+		k.now = e.at
+		k.executed++
+		if e.proc != nil {
+			if e.proc.done {
+				continue
+			}
+			return e.proc
+		}
+		e.fn()
+	}
+	return nil
+}
+
+// endDrive returns the token to the Run caller. Called by a process
+// goroutine when next() found nothing left to drive.
+func (k *Kernel) endDrive() {
+	k.yield <- struct{}{}
+}
+
+// parkedNames lists parked processes (and what they wait on) for the
+// deadlock report, truncated to 8 entries so a 128-rank deadlock stays
+// one readable line.
 func (k *Kernel) parkedNames() string {
-	s := ""
+	var b strings.Builder
 	i := 0
 	for p := range k.procs {
 		if i > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
 		if i == 8 {
-			s += "…"
+			b.WriteString("…")
 			break
 		}
-		s += p.name
+		b.WriteString(p.name)
 		if p.waiting != "" {
-			s += " (waiting: " + p.waiting + ")"
+			b.WriteString(" (waiting: ")
+			b.WriteString(p.waiting)
+			b.WriteString(")")
 		}
 		i++
 	}
-	return s
+	return b.String()
 }

@@ -4,9 +4,10 @@ import "fmt"
 
 // Proc is a simulated process: a goroutine that runs simulated work and
 // blocks on simulated conditions (Sleep, Future.Await, Resource.Acquire).
-// At most one process runs at a time; control passes between the kernel
-// and the running process over unbuffered channels, so process code needs
-// no locking and observes a consistent virtual clock.
+// At most one process runs at a time; the execution token passes
+// directly between processes (and the Run caller) over unbuffered
+// channels, so process code needs no locking and observes a consistent
+// virtual clock.
 type Proc struct {
 	k       *Kernel
 	name    string
@@ -32,31 +33,41 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 			}
 			p.done = true
 			delete(k.procs, p)
-			k.yield <- struct{}{}
+			// The finishing process holds the token; keep driving.
+			if next := k.next(); next != nil {
+				next.resume <- struct{}{}
+			} else {
+				k.endDrive()
+			}
 		}()
 		<-p.resume // wait for first dispatch
 		fn(p)
 	}()
-	k.After(0, func() { k.dispatch(p) })
+	k.wake(p, 0)
 	return p
 }
 
-// dispatch resumes p and waits until it parks again or finishes. Must be
-// called from kernel context (inside an event callback).
-func (k *Kernel) dispatch(p *Proc) {
-	if p.done {
-		return
-	}
-	p.resume <- struct{}{}
-	<-k.yield
-}
-
-// park hands control back to the kernel and blocks until the next
-// dispatch. Must be called from within the process itself.
+// park hands the execution token onward and blocks until this process's
+// own wakeup event is reached. Must be called from within the process
+// itself, with a wakeup for it either already queued or arranged to be
+// scheduled by another process (Future.Resolve, Resource.Release).
+//
+// Fast path: if the next runnable event is this process's own wakeup,
+// park drains the intervening callback events inline and returns
+// without any goroutine switch.
 func (p *Proc) park(reason string) {
 	p.waiting = reason
-	p.k.yield <- struct{}{}
-	<-p.resume
+	k := p.k
+	switch next := k.next(); next {
+	case p:
+		// Own wakeup reached — keep the token, keep running.
+	case nil:
+		k.endDrive() // nothing drivable: return the token to Run
+		<-p.resume
+	default:
+		next.resume <- struct{}{} // direct switch to the next process
+		<-p.resume
+	}
 	p.waiting = ""
 }
 
@@ -71,9 +82,12 @@ func (p *Proc) Now() Time { return p.k.now }
 
 // Sleep suspends the process for d of simulated time. Zero and negative
 // durations yield the processor for one zero-delay event round, which
-// preserves FIFO fairness among runnable processes.
+// preserves FIFO fairness among runnable processes. The wakeup is
+// stored by value in the event queue — no closure, no allocation — and
+// when no other event precedes it the process resumes without leaving
+// its own goroutine.
 func (p *Proc) Sleep(d Duration) {
-	p.k.After(d, func() { p.k.dispatch(p) })
+	p.k.wake(p, d)
 	p.park("sleep")
 }
 

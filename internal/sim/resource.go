@@ -45,7 +45,7 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[:copy(r.waiters, r.waiters[1:])]
-		r.k.After(0, func() { r.k.dispatch(w) })
+		r.k.wake(w, 0)
 		return // unit stays accounted as in use, now owned by w
 	}
 	r.inUse--

@@ -64,7 +64,7 @@ func (m *Mailbox[T]) Put(v T) {
 	if len(m.recvq) > 0 {
 		w := m.recvq[0]
 		m.recvq = m.recvq[:copy(m.recvq, m.recvq[1:])]
-		m.k.After(0, func() { m.k.dispatch(w) })
+		m.k.wake(w, 0)
 	}
 }
 

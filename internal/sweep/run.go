@@ -61,6 +61,13 @@ type Runner struct {
 // Scenarios must come from Spec.Expand (or satisfy the same
 // invariants); an invalid algorithm or machine panics, matching the
 // measure package's contract.
+//
+// Run proceeds in phases: cache hits are served first (in parallel);
+// then, when the backend is a *estimate.Calibrated, every triple the
+// remaining scenarios touch is precalibrated through a worker pool of
+// the same size, so cold calibration parallelizes across triples
+// instead of serializing behind the first scenario that needs each
+// one; finally the remaining scenarios are estimated in parallel.
 func (r *Runner) Run(scenarios []Scenario) []Result {
 	workers := r.Workers
 	if workers <= 0 {
@@ -68,12 +75,6 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	}
 	if workers > len(scenarios) && len(scenarios) > 0 {
 		workers = len(scenarios)
-	}
-	batch := r.BatchSize
-	if batch <= 0 {
-		// Aim for ~4 batches per worker so the tail stays balanced
-		// without a channel send per scenario.
-		batch = len(scenarios)/(4*workers) + 1
 	}
 	backend := r.Backend
 	if backend == nil {
@@ -99,9 +100,90 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	}
 
 	results := make([]Result, len(scenarios))
-	jobs := make(chan [2]int, workers) // bounded queue of [lo, hi) index ranges
 	var done atomic.Int64
 	var progressMu sync.Mutex
+	report := func(i int) {
+		n := int(done.Add(1))
+		if r.OnProgress != nil {
+			progressMu.Lock()
+			r.OnProgress(Progress{
+				Done: n, Total: len(scenarios),
+				Scenario: scenarios[i],
+				Cached:   results[i].Cached,
+				Micros:   results[i].Sample.Micros,
+			})
+			progressMu.Unlock()
+		}
+	}
+
+	// Phase 1: serve cache hits, leaving the misses pending.
+	pending := make([]int, 0, len(scenarios))
+	keys := make([]string, len(scenarios))
+	if r.Cache != nil {
+		served := make([]bool, len(scenarios))
+		r.forEach(workers, len(scenarios), func(i int) {
+			sc := scenarios[i]
+			keys[i] = sc.Key(mctx[sc.Machine].fingerprint, backendID)
+			if s, ok := r.Cache.Get(keys[i]); ok {
+				results[i] = Result{Scenario: sc, Sample: s, Cached: true, Backend: backend.Name()}
+				served[i] = true
+				report(i)
+			}
+		})
+		for i, ok := range served {
+			if !ok {
+				pending = append(pending, i)
+			}
+		}
+	} else {
+		for i := range scenarios {
+			pending = append(pending, i)
+		}
+	}
+
+	// Phase 2: bulk-calibrate the triples the pending scenarios need.
+	if cal, ok := backend.(*estimate.Calibrated); ok && len(pending) > 0 {
+		triples := make([]estimate.Triple, 0, len(pending))
+		for _, i := range pending {
+			sc := scenarios[i]
+			triples = append(triples, estimate.Triple{
+				Machine: mctx[sc.Machine].m, Op: sc.Op, Alg: sc.Algorithm,
+			})
+		}
+		cal.Precalibrate(triples, workers)
+	}
+
+	// Phase 3: estimate what the cache could not serve.
+	r.forEach(workers, len(pending), func(j int) {
+		i := pending[j]
+		sc := scenarios[i]
+		results[i] = r.runOne(sc, keys[i], mctx[sc.Machine], backend)
+		report(i)
+	})
+	return results
+}
+
+// forEach runs fn(0..n-1) across a bounded worker pool in contiguous
+// batches (~4 per worker), so the tail stays balanced without a channel
+// send per item.
+func (r *Runner) forEach(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	batch := r.BatchSize
+	if batch <= 0 {
+		batch = n/(4*workers) + 1
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan [2]int, workers) // bounded queue of [lo, hi) index ranges
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -109,33 +191,20 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			defer wg.Done()
 			for span := range jobs {
 				for i := span[0]; i < span[1]; i++ {
-					sc := scenarios[i]
-					results[i] = r.runOne(sc, mctx[sc.Machine], backend, backendID)
-					n := int(done.Add(1))
-					if r.OnProgress != nil {
-						progressMu.Lock()
-						r.OnProgress(Progress{
-							Done: n, Total: len(scenarios),
-							Scenario: sc,
-							Cached:   results[i].Cached,
-							Micros:   results[i].Sample.Micros,
-						})
-						progressMu.Unlock()
-					}
+					fn(i)
 				}
 			}
 		}()
 	}
-	for lo := 0; lo < len(scenarios); lo += batch {
+	for lo := 0; lo < n; lo += batch {
 		hi := lo + batch
-		if hi > len(scenarios) {
-			hi = len(scenarios)
+		if hi > n {
+			hi = n
 		}
 		jobs <- [2]int{lo, hi}
 	}
 	close(jobs)
 	wg.Wait()
-	return results
 }
 
 type machineCtx struct {
@@ -144,18 +213,12 @@ type machineCtx struct {
 	fingerprint string // "" when no cache is attached
 }
 
-// runOne serves one scenario from the cache or estimates it. Only the
-// scenario's own operation deviates from the vendor algorithm table, so
-// the in-band synchronization barrier of the measurement procedure is
-// the same across variants of another operation.
-func (r *Runner) runOne(sc Scenario, mc *machineCtx, backend estimate.Backend, backendID string) Result {
-	var key string
-	if r.Cache != nil {
-		key = sc.Key(mc.fingerprint, backendID)
-		if s, ok := r.Cache.Get(key); ok {
-			return Result{Scenario: sc, Sample: s, Cached: true, Backend: backend.Name()}
-		}
-	}
+// runOne estimates one scenario (its cache lookup already missed; key
+// is "" when no cache is attached). Only the scenario's own operation
+// deviates from the vendor algorithm table, so the in-band
+// synchronization barrier of the measurement procedure is the same
+// across variants of another operation.
+func (r *Runner) runOne(sc Scenario, key string, mc *machineCtx, backend estimate.Backend) Result {
 	algs := mc.defaults
 	if sc.Algorithm != DefaultAlgorithm && sc.Algorithm != "" {
 		algs = algs.With(sc.Op, sc.Algorithm)

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — run the tracked benchmarks once and emit a JSON record.
+#
+#   scripts/bench.sh            # print the record to stdout
+#   scripts/bench.sh out.json   # also write it to out.json
+#
+# The record carries the commit, the raw `go test -bench` output, and
+# the date; CI uploads it as BENCH_<sha>.json so per-commit numbers
+# accumulate as artifacts. Append headline rows to BENCH.md by hand (or
+# from the artifact) when a commit moves them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# The full-grid benchmarks want exactly one cold pass (-benchtime 1x);
+# the kernel microbenchmarks need the default benchtime to reach steady
+# state, so they run separately.
+out=$(go test -run '^$' \
+	-bench 'BenchmarkEstimateThroughput|BenchmarkColdSweep|BenchmarkCalibrationCold' \
+	-benchtime 1x .)
+out+=$'\n'
+out+=$(go test -run '^$' -bench 'BenchmarkKernelEvents' .)
+
+record=$(
+	BENCH_SHA="$sha" BENCH_OUT="$out" python3 - <<'EOF'
+import json, os, datetime
+print(json.dumps({
+    "sha": os.environ["BENCH_SHA"],
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+    "bench": os.environ["BENCH_OUT"].splitlines(),
+}, indent=2))
+EOF
+)
+
+echo "$record"
+if [ $# -ge 1 ]; then
+	echo "$record" >"$1"
+	echo "bench: wrote $1" >&2
+fi
