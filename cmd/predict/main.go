@@ -1,16 +1,17 @@
 // Command predict evaluates closed-form timing expressions analytically
 // — the use the paper proposes for them: estimating communication
 // overhead, ranking machines, and locating crossovers without running
-// anything. The expression set is pluggable through the estimation
-// backends: the paper's published Table 3 (default) or expressions
-// recalibrated from the simulator, optionally persisted in a sweep
-// cache directory so recalibration happens once.
+// anything. The expression set comes from the same named registry the
+// HTTP service (cmd/serve) resolves against: the paper's published
+// Table 3, or expressions recalibrated from the simulator, optionally
+// persisted in a sweep cache directory so recalibration happens once.
 //
 // Usage:
 //
 //	predict -op alltoall -p 64 -m 512
 //	predict -op broadcast -p 32 -m 65536 -crossover SP2,Paragon
-//	predict -backend calibrated -cache .sweepcache -op alltoall -p 64 -m 512
+//	predict -registry refit-default -cache .sweepcache -op alltoall -p 64 -m 512
+//	predict -list-registries
 package main
 
 import (
@@ -27,21 +28,36 @@ import (
 
 func main() {
 	var (
-		opName    = flag.String("op", "alltoall", "collective operation (Table 3 row)")
+		opName    = flag.String("op", "alltoall", "collective operation")
 		p         = flag.Int("p", 64, "machine size (nodes)")
 		m         = flag.Int("m", 1024, "message length per node pair (bytes)")
 		crossover = flag.String("crossover", "", "pair \"A,B\": message size where B overtakes A")
-		backendF  = flag.String("backend", "paper", `expression source: "paper" (Table 3) or "calibrated" (refit from the simulator)`)
+		registryF = flag.String("registry", "", "expression set from the registry (see -list-registries); overrides -backend")
+		backendF  = flag.String("backend", "paper", `legacy expression source: "paper" (= paper-table3) or "calibrated" (= refit-default)`)
 		cacheDir  = flag.String("cache", "", "sweep cache directory persisting calibrated expressions")
+		listReg   = flag.Bool("list-registries", false, "list the named expression sets and exit")
 	)
 	flag.Parse()
 
-	op := machine.Op(*opName)
-	if _, ok := model.FromPaper().Expression("T3D", op); !ok {
-		fmt.Fprintf(os.Stderr, "predict: %q is not a Table 3 operation\n", *opName)
+	reg, err := registry(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
 		os.Exit(2)
 	}
-	pr, label, err := predictor(*backendF, op, *cacheDir)
+	if *listReg {
+		fmt.Println("expression-set registries:")
+		for _, e := range reg.Entries() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	op, err := estimate.ResolveOp(*opName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(2)
+	}
+	pr, entry, err := predictor(reg, *registryF, *backendF, op)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "predict:", err)
 		os.Exit(2)
@@ -51,7 +67,17 @@ func main() {
 	if op == machine.OpBarrier {
 		msg = 0
 	}
-	fmt.Printf("%s  p=%d  m=%d bytes (%s)\n", op, *p, msg, label)
+	// Rank evaluates every machine, so the expression set must cover
+	// them all; the paper's table has no allgather/allreduce rows, for
+	// example, while the refit registries cover every operation.
+	for _, mach := range pr.Machines() {
+		if _, ok := pr.Expression(mach, op); !ok {
+			fmt.Fprintf(os.Stderr, "predict: the %s expression set has no %s/%s entry (try -registry refit-default)\n",
+				entry.Name, mach, op)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("%s  p=%d  m=%d bytes (%s: %s)\n", op, *p, msg, entry.Name, entry.Description)
 	for _, mach := range pr.Rank(op, msg, *p) {
 		e, _ := pr.Expression(mach, op)
 		fmt.Printf("  %-8s T=%12.1f µs   T0=%10.1f µs   R∞=%8.0f MB/s   %s\n",
@@ -74,24 +100,45 @@ func main() {
 	}
 }
 
-// predictor resolves the expression set behind the requested backend.
-func predictor(backend string, op machine.Op, cacheDir string) (*model.Predictor, string, error) {
-	switch backend {
-	case "paper", "":
-		return model.FromPaper(), "paper Table 3 expressions", nil
-	case "calibrated":
-		cache, err := sweep.OpenCache(cacheDir)
-		if err != nil {
-			return nil, "", err
-		}
-		cal := &estimate.Calibrated{}
-		if cache != nil {
-			cal.Store = cache
-		}
-		fmt.Fprintln(os.Stderr, "predict: calibrating from the simulator (cached fits are reused) ...")
-		pr := cal.Predictor(machine.All(), []machine.Op{op})
-		return pr, "expressions recalibrated from the simulator", nil
-	default:
-		return nil, "", fmt.Errorf("unknown backend %q (want paper or calibrated)", backend)
+// registry assembles the standard expression-set registry, backed by
+// the cache directory when one is given — the same resolution path the
+// HTTP service uses.
+func registry(cacheDir string) (*estimate.Registry, error) {
+	cache, err := sweep.OpenCache(cacheDir)
+	if err != nil {
+		return nil, err
 	}
+	cfg := estimate.RegistryConfig{}
+	if cache != nil {
+		cfg.Store = cache
+	}
+	return estimate.StandardRegistry(cfg), nil
+}
+
+// predictor resolves the requested registry entry (honoring the legacy
+// -backend spelling) and exports its expressions as a predictor.
+func predictor(reg *estimate.Registry, registryName, backend string, op machine.Op) (*model.Predictor, *estimate.Entry, error) {
+	name := registryName
+	if name == "" {
+		switch backend {
+		case "paper", "":
+			name = "paper-table3"
+		case "calibrated":
+			name = "refit-default"
+		default:
+			return nil, nil, fmt.Errorf("unknown backend %q (want paper or calibrated; or use -registry)", backend)
+		}
+	}
+	entry, err := reg.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, isCal := entry.Backend.(*estimate.Calibrated); isCal {
+		fmt.Fprintln(os.Stderr, "predict: calibrating from the simulator (cached fits are reused) ...")
+	}
+	pr, ok := entry.Predictor(machine.All(), []machine.Op{op})
+	if !ok {
+		return nil, nil, fmt.Errorf("registry %q has no closed-form expressions to evaluate", name)
+	}
+	return pr, entry, nil
 }

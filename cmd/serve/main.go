@@ -1,0 +1,144 @@
+// Command serve runs the batched HTTP/JSON prediction service: the
+// estimation backends behind POST /v1/estimate, with named expression
+// sets (GET /v1/registry), error-bounded calibrated answers, and
+// automatic sim fallback outside the calibrated (p, m) range.
+//
+// Point it at the sweep cache a `sweep -backend calibrated -validate`
+// run populated and the service starts with the persisted fits and
+// error tables already loaded — no simulation before the first
+// out-of-range request:
+//
+//	sweep -backend calibrated -validate -cache .sweepcache
+//	serve -cache .sweepcache
+//
+//	curl -s localhost:8080/v1/registry
+//	curl -s -d '{"machine":"SP2","op":"alltoall","p":32,"m":1024}' localhost:8080/v1/estimate
+//	curl -s -d '[{"machine":"T3D","op":"broadcast","p":8,"m":256},
+//	             {"machine":"Paragon","op":"scatter","p":32,"m":65536}]' \
+//	     'localhost:8080/v1/estimate?registry=refit-default'
+//
+// Without a cache the service still answers everything; calibrations
+// run on first touch (or at startup with -warm) and answers simply
+// carry no expected-error bound until a validation table exists.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache", "", "sweep cache directory (persisted fits and error tables)")
+		registry = flag.String("registry", "refit-default", "registry entry served when a request names none")
+		workers  = flag.Int("workers", 0, "per-request estimation workers (0 = all cores)")
+		warm     = flag.Bool("warm", false, "precalibrate the default registry's triples before listening")
+		quiet    = flag.Bool("quiet", false, "suppress startup logging")
+	)
+	flag.Parse()
+
+	cache, err := sweep.OpenCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	memo := estimate.NewSampleMemo()
+	cfg := estimate.RegistryConfig{Memo: memo, Workers: *workers}
+	if cache != nil {
+		cfg.Store = cache
+	}
+	reg := estimate.StandardRegistry(cfg)
+	entry, err := reg.Get(*registry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 2
+	}
+	if n := sweep.AttachBounds(reg, cache); !*quiet && cache != nil {
+		fmt.Fprintf(os.Stderr, "serve: %d of %d registry entries carry validated error bounds\n",
+			n, len(reg.Names()))
+	}
+	if *warm {
+		warmUp(entry, *workers, *quiet)
+	}
+
+	server := &serve.Server{
+		Registry: reg,
+		Default:  *registry,
+		Sim:      estimate.Sim{Memo: memo},
+		Workers:  *workers,
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGINT/SIGTERM drain in-flight requests before exiting, so a
+	// deploy never truncates a half-answered batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- httpServer.Shutdown(shutdownCtx)
+	}()
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "serve: listening on %s (default registry %q)\n", *addr, *registry)
+	}
+	if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "serve: drained, bye")
+	}
+	return 0
+}
+
+// warmUp precalibrates every (machine, op, algorithm) triple of the
+// default entry's backend, so the first batch is served warm. Entries
+// without a calibration step (paper-table3) warm instantly.
+func warmUp(entry *estimate.Entry, workers int, quiet bool) {
+	cal, ok := entry.Backend.(*estimate.Calibrated)
+	if !ok {
+		return
+	}
+	var triples []estimate.Triple
+	for _, mach := range machine.All() {
+		for _, op := range machine.Ops {
+			for _, alg := range estimate.ValidAlgorithms(mach, op) {
+				triples = append(triples, estimate.Triple{Machine: mach, Op: op, Alg: alg})
+			}
+		}
+	}
+	start := time.Now()
+	cal.Precalibrate(triples, workers)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "serve: warmed %d calibration triples in %s\n",
+			len(triples), time.Since(start).Round(time.Millisecond))
+	}
+}

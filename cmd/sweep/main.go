@@ -254,6 +254,19 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, pla
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		return 1
 	}
+	// Persist the per-(machine, op, m) error table next to the fits it
+	// validates, so the serving layer can attach expected-error bounds
+	// without re-sweeping (sweep.AttachBounds finds it by content key).
+	if cache != nil {
+		table := sweep.BuildErrorTable(candidate, pairs)
+		id := fmt.Sprintf("%s error table (%d cells)", candidate.Name(), len(table.Cells))
+		if err := cache.PutErrorTable(estimate.ErrorTableKey(candidate), id, table); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		} else if !quiet {
+			fmt.Fprintf(os.Stderr, "sweep: validate: persisted %d-cell error table for the %s backend\n",
+				len(table.Cells), candidate.Name())
+		}
+	}
 	timing := &sweep.ValidationTiming{
 		Backend:    candidate.Name(),
 		RefSeconds: simSecs, EstSeconds: estSecs, WarmSeconds: warmSecs,

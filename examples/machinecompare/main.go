@@ -25,7 +25,10 @@ func main() {
 		fmt.Printf("== p=%d nodes, m=%d bytes per pair ==\n", p, m)
 		fmt.Printf("  %-10s %12s %12s %12s   winner\n", "operation", "SP2", "T3D", "Paragon")
 		for _, op := range machine.Ops {
-			ests := estimate.Compare(sim, machine.All(), op, p, m, cfg)
+			ests, err := estimate.Compare(sim, machine.Names(), op, p, m, cfg)
+			if err != nil {
+				panic(err) // the fixed study's names always resolve
+			}
 			times := map[string]float64{}
 			for _, e := range ests {
 				times[e.Sample.Machine] = e.Sample.Micros
@@ -45,7 +48,11 @@ func main() {
 	analytic := estimate.PaperAnalytic()
 	fmt.Println("\nTable 3 cross-check (analytic backend, no simulation):")
 	for _, m := range []int{16, 65536} {
-		best := estimate.Fastest(estimate.Compare(analytic, machine.All(), machine.OpAlltoall, p, m, cfg))
+		ests, err := estimate.Compare(analytic, machine.Names(), machine.OpAlltoall, p, m, cfg)
+		if err != nil {
+			panic(err)
+		}
+		best := estimate.Fastest(ests)
 		fmt.Printf("  alltoall m=%-6d → %s predicts %s at %.1f µs\n",
 			m, estimate.BackendAnalytic, best.Sample.Machine, best.Sample.Micros)
 	}

@@ -302,6 +302,15 @@ func (c *Calibrated) Predictor(machines []*machine.Machine, ops []machine.Op) *m
 	return model.New(exprs)
 }
 
+// Range returns the calibrated (p, m) envelope for one (machine, op) —
+// the grid rectangle the triple's fits interpolate. ok is always true:
+// the calibrated backend covers every registered operation. The
+// signature matches Entry.Ranges so a registry entry can use the method
+// value directly.
+func (c *Calibrated) Range(mach *machine.Machine, op machine.Op) (Range, bool) {
+	return envelope(c.sizesFor(mach), c.lengthsFor(op)), true
+}
+
 // calibrate runs the triple's calibration sweep (or loads a stored fit)
 // and returns the expression. alg is already resolved.
 func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string) fit.Expression {

@@ -95,18 +95,28 @@ func BuildDataset(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, siz
 }
 
 // Compare estimates one collective configuration on several machines
-// under their vendor-default algorithm tables — the comparison loop the
-// examples and the paper's §9 ranking discussion share. Barrier
-// configurations are estimated with m = 0 regardless of m.
-func Compare(b Backend, machines []*machine.Machine, op machine.Op, p, m int, cfg measure.Config) []Estimate {
+// (named by preset) under their vendor-default algorithm tables — the
+// comparison loop the examples, the service, and the paper's §9 ranking
+// discussion share. Barrier configurations are estimated with m = 0
+// regardless of m. A machine or operation name that does not resolve
+// returns a typed *UnknownNameError listing the valid names, instead of
+// panicking somewhere inside the backend.
+func Compare(b Backend, machines []string, op machine.Op, p, m int, cfg measure.Config) ([]Estimate, error) {
+	if _, err := ResolveOp(string(op)); err != nil {
+		return nil, err
+	}
 	if op == machine.OpBarrier {
 		m = 0
 	}
 	out := make([]Estimate, 0, len(machines))
-	for _, mach := range machines {
+	for _, name := range machines {
+		mach, err := ResolveMachine(name)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, b.Estimate(mach, op, mpi.DefaultAlgorithms(mach), p, m, cfg))
 	}
-	return out
+	return out, nil
 }
 
 // Fastest returns the estimate with the lowest headline time (the first

@@ -246,7 +246,10 @@ func TestProvenanceDistinguishesBackends(t *testing.T) {
 }
 
 func TestCompareAndFastest(t *testing.T) {
-	ests := Compare(PaperAnalytic(), machine.All(), machine.OpAlltoall, 64, 65536, tinyCfg)
+	ests, err := Compare(PaperAnalytic(), machine.Names(), machine.OpAlltoall, 64, 65536, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ests) != 3 {
 		t.Fatalf("got %d estimates", len(ests))
 	}
@@ -262,7 +265,11 @@ func TestCompareAndFastest(t *testing.T) {
 		t.Fatalf("fastest 64KB alltoall should be the T3D, got %s", f.Sample.Machine)
 	}
 	// Barrier comparisons force m to 0.
-	for _, e := range Compare(PaperAnalytic(), machine.All(), machine.OpBarrier, 32, 4096, tinyCfg) {
+	barriers, err := Compare(PaperAnalytic(), machine.Names(), machine.OpBarrier, 32, 4096, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range barriers {
 		if e.Sample.M != 0 {
 			t.Fatalf("barrier compared at m=%d", e.Sample.M)
 		}

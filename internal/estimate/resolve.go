@@ -1,0 +1,75 @@
+package estimate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coll"
+	"repro/internal/machine"
+)
+
+// UnknownNameError reports a name that does not resolve in one of the
+// estimation namespaces — a machine preset, a collective operation, an
+// algorithm variant, or a registry entry — listing the valid names so a
+// caller (in particular the HTTP service) can surface a self-correcting
+// message instead of a panic.
+type UnknownNameError struct {
+	Kind  string   // "machine", "operation", "algorithm", "registry"
+	Name  string   // the name that failed to resolve
+	Valid []string // the names that would have resolved, sorted
+}
+
+// Error formats "unknown machine "SP3" (valid: Paragon, SP2, T3D)".
+func (e *UnknownNameError) Error() string {
+	return fmt.Sprintf("estimate: unknown %s %q (valid: %s)",
+		e.Kind, e.Name, strings.Join(e.Valid, ", "))
+}
+
+// ResolveMachine resolves a machine preset by name, returning a typed
+// *UnknownNameError (not nil-then-panic) when no preset matches.
+func ResolveMachine(name string) (*machine.Machine, error) {
+	if m := machine.ByName(name); m != nil {
+		return m, nil
+	}
+	return nil, &UnknownNameError{Kind: "machine", Name: name, Valid: machine.Names()}
+}
+
+// ResolveOp validates a collective operation name against the registered
+// algorithm registries (which cover every operation the simulator can
+// run, including the two beyond the paper's seven).
+func ResolveOp(name string) (machine.Op, error) {
+	if coll.Algorithms(name) != nil {
+		return machine.Op(name), nil
+	}
+	return "", &UnknownNameError{Kind: "operation", Name: name, Valid: coll.RegisteredOps()}
+}
+
+// ResolveAlgorithm validates an algorithm variant for op on mach. The
+// empty string resolves to the "default" alias (the machine's vendor
+// table entry); the hardware barrier resolves only on machines with the
+// circuit. The returned name is what a sweep scenario should carry.
+func ResolveAlgorithm(mach *machine.Machine, op machine.Op, name string) (string, error) {
+	switch {
+	case name == "" || name == defaultAlg:
+		return defaultAlg, nil
+	case name == coll.AlgHardware && op == machine.OpBarrier && mach.HardwareBarrier():
+		return name, nil
+	case name != coll.AlgHardware && coll.HasAlgorithm(string(op), name):
+		return name, nil
+	}
+	return "", &UnknownNameError{Kind: "algorithm", Name: name, Valid: ValidAlgorithms(mach, op)}
+}
+
+// ValidAlgorithms lists the variants ResolveAlgorithm accepts for
+// (mach, op): the registry entries, the "default" alias, and — on
+// machines with the circuit — the hardware barrier. It is also the
+// triple enumeration a full warm-up precalibrates.
+func ValidAlgorithms(mach *machine.Machine, op machine.Op) []string {
+	out := append([]string{defaultAlg}, coll.Algorithms(string(op))...)
+	if op == machine.OpBarrier && mach.HardwareBarrier() {
+		out = append(out, coll.AlgHardware)
+	}
+	sort.Strings(out)
+	return out
+}

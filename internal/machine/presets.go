@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"sort"
+
 	"repro/internal/network"
 	"repro/internal/sim"
 )
@@ -173,6 +175,16 @@ func networkParams(hopNs int64, linkMBs, injMBs float64) netParams {
 
 // All returns the three machine models in the paper's order.
 func All() []*Machine { return []*Machine{SP2(), T3D(), Paragon()} }
+
+// Names returns the preset machine names, sorted.
+func Names() []string {
+	var out []string
+	for _, m := range All() {
+		out = append(out, m.Name())
+	}
+	sort.Strings(out)
+	return out
+}
 
 // ByName returns the machine with the given name, or nil.
 func ByName(name string) *Machine {

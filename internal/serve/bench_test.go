@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/sweep"
+)
+
+// BenchmarkServeThroughput measures the service's request rate through
+// the full HTTP handler stack (decode, validate, estimate, encode) on
+// the warm calibrated registry — single-scenario requests vs the
+// batched default grid. Tracked by scripts/bench.sh; non-gating.
+func BenchmarkServeThroughput(b *testing.B) {
+	memo := estimate.NewSampleMemo()
+	reg := estimate.StandardRegistry(estimate.RegistryConfig{Memo: memo})
+	entry, err := reg.Get("refit-default")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &Server{Registry: reg, Default: "refit-default", Sim: estimate.Sim{Memo: memo}}
+	handler := s.Handler()
+
+	spec := sweep.Spec{
+		Algorithms: sweep.AllAlgorithms(machine.Ops),
+		Sizes:      estimate.DefaultCalibrationSizes,
+	}
+	scns, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := make([]Scenario, len(scns))
+	for i, sc := range scns {
+		grid[i] = Scenario{Machine: sc.Machine, Op: string(sc.Op), Algorithm: sc.Algorithm, P: sc.P, M: sc.M}
+	}
+	batchBody, err := json.Marshal(grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	singleBody := []byte(`{"machine":"SP2","op":"alltoall","p":32,"m":1024}`)
+
+	// Calibrate outside the timed region: throughput is the serving
+	// number, cold calibration is BenchmarkCalibrationCold's.
+	if cal, ok := entry.Backend.(*estimate.Calibrated); ok {
+		var triples []estimate.Triple
+		for _, sc := range scns {
+			triples = append(triples, estimate.Triple{
+				Machine: machine.ByName(sc.Machine), Op: sc.Op, Alg: sc.Algorithm,
+			})
+		}
+		cal.Precalibrate(triples, 0)
+	}
+
+	post := func(body []byte) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		return rec
+	}
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			post(singleBody)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+	})
+	b.Run("batch788", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			post(batchBody)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(b.N*len(grid))/b.Elapsed().Seconds(), "scenarios/s")
+	})
+}

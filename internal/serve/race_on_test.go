@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates the full-grid golden test, which is too slow under
+// the race detector's instrumented simulator.
+const raceEnabled = true

@@ -1,0 +1,458 @@
+// Package serve exposes the estimation engine over HTTP/JSON — the
+// paper's closing promise ("predict collective performance without
+// running the machine") as a queryable network service. One POST
+// answers a single scenario or a whole scenario grid; every request
+// selects a named expression set from an estimate.Registry; calibrated
+// answers carry the expected relative error measured by a sim
+// validation; and requests outside the calibrated (p, m) envelope fall
+// back to the exact simulator, flagged as such, instead of silently
+// extrapolating an affine fit.
+//
+// Endpoints:
+//
+//	POST /v1/estimate   single scenario, a bare scenario array, or an
+//	                    envelope {registry, scenarios:[...]}
+//	GET  /v1/registry   the registered expression sets
+//
+// Batched scenarios fan out across a bounded worker pool (the
+// calibration-pool pattern), and cold calibrated batches bulk-calibrate
+// their (machine, op, algorithm) triples first, so a request never
+// serializes behind one triple's first fit.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// Scenario is one requested prediction — the wire form of a sweep grid
+// point. Barrier scenarios are normalized to m = 0.
+type Scenario struct {
+	Machine   string `json:"machine"`
+	Op        string `json:"op"`
+	Algorithm string `json:"algorithm,omitempty"` // "" or "default": the vendor table
+	P         int    `json:"p"`
+	M         int    `json:"m"`
+}
+
+// Bound is the expected-error annotation of a closed-form answer,
+// copied from the registry entry's sim-validated error table.
+type Bound struct {
+	// RelMedian and RelMax summarize the validated relative error of
+	// the answering expression set on this (machine, op, m) cell.
+	RelMedian float64 `json:"rel_median"`
+	RelMax    float64 `json:"rel_max"`
+	// BasisM is the validated message length the bound comes from —
+	// equal to the request's m when the validation grid contained it,
+	// otherwise the nearest validated length on a log scale.
+	BasisM int `json:"basis_m"`
+	// Points is how many validated scenarios the cell pooled.
+	Points int `json:"points"`
+}
+
+// Answer is one scenario's response.
+type Answer struct {
+	Scenario
+	// Micros is the predicted (or, on fallback, simulated) headline
+	// time in µs.
+	Micros float64 `json:"micros"`
+	// Backend names what actually answered: the registry entry's
+	// backend, or "sim" on fallback.
+	Backend string `json:"backend"`
+	// Fallback is set when the scenario left the entry's calibrated
+	// (p, m) envelope and the exact simulator answered instead.
+	Fallback       bool   `json:"fallback,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// ExpectedError bounds closed-form answers whose entry carries a
+	// validated error table; absent on fallback (sim is the reference)
+	// and on entries never validated.
+	ExpectedError *Bound `json:"expected_error,omitempty"`
+}
+
+// Response is the estimate endpoint's envelope. Answers preserve
+// request order, so the encoding is byte-stable for a fixed registry.
+type Response struct {
+	// Registry, Backend, and Provenance identify the expression set
+	// that served the request (also exposed as X-Estimate-* headers).
+	Registry   string   `json:"registry"`
+	Backend    string   `json:"backend"`
+	Provenance string   `json:"provenance,omitempty"`
+	Answers    []Answer `json:"answers"`
+}
+
+// RegistryInfo is one row of the registry listing.
+type RegistryInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Backend     string `json:"backend"`
+	Provenance  string `json:"provenance,omitempty"`
+	// BoundsCells is the size of the entry's attached error table;
+	// zero means answers from this entry carry no expected_error.
+	BoundsCells int `json:"bounds_cells"`
+}
+
+// RegistryResponse is the registry endpoint's envelope.
+type RegistryResponse struct {
+	Default    string         `json:"default"`
+	Registries []RegistryInfo `json:"registries"`
+}
+
+// Server answers prediction requests from a registry of expression
+// sets. Configure the fields before calling Handler; the handler itself
+// is safe for concurrent use.
+type Server struct {
+	// Registry is the expression-set registry requests resolve against.
+	Registry *estimate.Registry
+	// Default is the registry entry served when a request names none.
+	Default string
+	// Sim answers out-of-range scenarios exactly; give it a SampleMemo
+	// to dedup repeated fallback simulations.
+	Sim estimate.Sim
+	// Config is the fallback simulation methodology; zero means
+	// measure.Fast() — deterministic, seeded.
+	Config measure.Config
+	// Workers bounds the per-request estimation pool; ≤ 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MaxBatch caps the scenarios of one request; ≤ 0 means 10000.
+	MaxBatch int
+	// MaxMessage caps a scenario's message length, bounding the cost a
+	// single fallback simulation can impose; ≤ 0 means 16 MiB.
+	MaxMessage int
+}
+
+// maxBodyBytes bounds a request body; the largest legitimate grids are
+// a few MB of JSON.
+const maxBodyBytes = 16 << 20
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	return mux
+}
+
+func (s *Server) config() measure.Config {
+	if s.Config == (measure.Config{}) {
+		return measure.Fast()
+	}
+	return s.Config
+}
+
+func (s *Server) maxBatch() int {
+	if s.MaxBatch <= 0 {
+		return 10000
+	}
+	return s.MaxBatch
+}
+
+func (s *Server) maxMessage() int {
+	if s.MaxMessage <= 0 {
+		return 16 << 20
+	}
+	return s.MaxMessage
+}
+
+// resolved is a validated scenario, every name bound to its object,
+// with the entry's fallback decision computed once up front.
+type resolved struct {
+	mach *machine.Machine
+	op   machine.Op
+	alg  string // "default" or a registry variant, validated
+	algs mpi.Algorithms
+	p, m int
+	// fallback and fallbackReason record whether the exact simulator
+	// must answer (outside the calibrated envelope, an unfitted pair,
+	// or a variant the expression set cannot distinguish).
+	fallback       bool
+	fallbackReason string
+}
+
+// handleEstimate answers POST /v1/estimate.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	regName, scns, err := parseEstimateRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if regName == "" {
+		regName = r.URL.Query().Get("registry")
+	}
+	if regName == "" {
+		regName = s.Default
+	}
+	entry, err := s.Registry.Get(regName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(scns) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("the request carries no scenarios"))
+		return
+	}
+	if len(scns) > s.maxBatch() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d scenarios exceed the batch cap of %d", len(scns), s.maxBatch()))
+		return
+	}
+	res := make([]resolved, len(scns))
+	for i, sc := range scns {
+		if res[i], err = s.resolve(sc); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("scenario %d (%s/%s): %w", i, sc.Machine, sc.Op, err))
+			return
+		}
+		res[i].fallbackReason, res[i].fallback = fallbackReason(entry, res[i])
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Bulk-calibrate the in-envelope triples of a calibrated entry
+	// before fanning out, so a cold batch parallelizes its calibration
+	// across triples instead of behind first-touch scenario workers.
+	if cal, ok := entry.Backend.(*estimate.Calibrated); ok {
+		var triples []estimate.Triple
+		for _, rs := range res {
+			if !rs.fallback {
+				triples = append(triples, estimate.Triple{Machine: rs.mach, Op: rs.op, Alg: rs.alg})
+			}
+		}
+		cal.Precalibrate(triples, workers)
+	}
+
+	answers := make([]Answer, len(res))
+	fanOut(workers, len(res), func(i int) {
+		answers[i] = s.answer(entry, res[i])
+	})
+
+	resp := Response{
+		Registry:   entry.Name,
+		Backend:    entry.Backend.Name(),
+		Provenance: entry.Backend.Provenance(),
+		Answers:    answers,
+	}
+	w.Header().Set("X-Estimate-Registry", resp.Registry)
+	w.Header().Set("X-Estimate-Backend", resp.Backend)
+	w.Header().Set("X-Estimate-Provenance", resp.Provenance)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseEstimateRequest accepts the three request shapes: a bare
+// scenario object, a bare scenario array, or an envelope
+// {registry, scenarios}. The registry name is empty unless the envelope
+// carried one.
+func parseEstimateRequest(body []byte) (registry string, scns []Scenario, err error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(body, &scns); err != nil {
+			return "", nil, fmt.Errorf("decoding scenario array: %w", err)
+		}
+		return "", scns, nil
+	}
+	var req struct {
+		Registry  string     `json:"registry"`
+		Scenarios []Scenario `json:"scenarios"`
+		Scenario             // single-scenario shorthand
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", nil, fmt.Errorf("decoding request: %w", err)
+	}
+	scns = req.Scenarios
+	if len(scns) == 0 && req.Scenario != (Scenario{}) {
+		scns = []Scenario{req.Scenario}
+	}
+	return req.Registry, scns, nil
+}
+
+// resolve validates one scenario and binds its names.
+func (s *Server) resolve(sc Scenario) (resolved, error) {
+	mach, err := estimate.ResolveMachine(sc.Machine)
+	if err != nil {
+		return resolved{}, err
+	}
+	op, err := estimate.ResolveOp(sc.Op)
+	if err != nil {
+		return resolved{}, err
+	}
+	alg, err := estimate.ResolveAlgorithm(mach, op, sc.Algorithm)
+	if err != nil {
+		return resolved{}, err
+	}
+	if sc.P < 2 {
+		return resolved{}, fmt.Errorf("p=%d: a collective needs at least 2 nodes", sc.P)
+	}
+	if sc.P > mach.MaxNodes() {
+		return resolved{}, fmt.Errorf("p=%d exceeds the %s's %d nodes", sc.P, mach.Name(), mach.MaxNodes())
+	}
+	m := sc.M
+	if op == machine.OpBarrier {
+		m = 0
+	}
+	if m < 0 {
+		return resolved{}, fmt.Errorf("negative message length m=%d", m)
+	}
+	if m > s.maxMessage() {
+		return resolved{}, fmt.Errorf("m=%d exceeds the service cap of %d bytes", m, s.maxMessage())
+	}
+	algs := mpi.DefaultAlgorithms(mach)
+	if alg != sweepDefaultAlg {
+		algs = algs.With(op, alg)
+	}
+	return resolved{mach: mach, op: op, alg: alg, algs: algs, p: sc.P, m: m}, nil
+}
+
+// sweepDefaultAlg mirrors sweep.DefaultAlgorithm without importing the
+// sweep engine into the serving layer.
+const sweepDefaultAlg = "default"
+
+// answer serves one resolved scenario from the entry — or from the
+// exact simulator, flagged, when the fallback decision computed at
+// resolve time says the entry cannot answer it honestly.
+func (s *Server) answer(entry *estimate.Entry, rs resolved) Answer {
+	echo := Scenario{Machine: rs.mach.Name(), Op: string(rs.op), Algorithm: rs.alg, P: rs.p, M: rs.m}
+	if rs.fallback {
+		est := s.Sim.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+		return Answer{
+			Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend,
+			Fallback: true, FallbackReason: rs.fallbackReason,
+		}
+	}
+	est := entry.Backend.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+	a := Answer{Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend}
+	if cell, ok := entry.Bounds.Bound(rs.mach.Name(), rs.op, rs.m); ok {
+		a.ExpectedError = &Bound{
+			RelMedian: cell.Median, RelMax: cell.Max,
+			BasisM: cell.M, Points: cell.Points,
+		}
+	}
+	return a
+}
+
+// fallbackReason decides whether the scenario must be answered by the
+// simulator: outside the entry's calibrated envelope, a pair the
+// envelope function disowns, or — whatever the envelope says — a fixed
+// expression set that cannot answer the pair honestly, either because
+// it has no fit at all (evaluating one would panic deep inside the
+// model) or because it only models vendor-default algorithms and the
+// request names another variant.
+func fallbackReason(entry *estimate.Entry, rs resolved) (string, bool) {
+	if a, ok := entry.Backend.(*estimate.Analytic); ok {
+		if !a.Covers(rs.mach.Name(), rs.op) {
+			return uncoveredReason(entry, rs), true
+		}
+		// Fixed sets model the vendor-default algorithms only; naming
+		// the default variant explicitly is fine, any other variant is
+		// a question the set cannot answer.
+		if rs.alg != sweepDefaultAlg && rs.alg != mpi.DefaultAlgorithms(rs.mach).Get(rs.op) {
+			return fmt.Sprintf("the %s expression set models vendor-default algorithms only, not %s[%s]; answered by the exact simulator",
+				entry.Name, rs.op, rs.alg), true
+		}
+	}
+	in, rng := entry.Covers(rs.mach, rs.op, rs.p, rs.m)
+	if in {
+		return "", false
+	}
+	if rng == (estimate.Range{}) {
+		return uncoveredReason(entry, rs), true
+	}
+	return fmt.Sprintf("p=%d m=%d is outside the calibrated range %s; answered by the exact simulator",
+		rs.p, rs.m, rng), true
+}
+
+func uncoveredReason(entry *estimate.Entry, rs resolved) string {
+	return fmt.Sprintf("%s/%s has no %s expression; answered by the exact simulator",
+		rs.mach.Name(), rs.op, entry.Name)
+}
+
+// handleRegistry answers GET /v1/registry.
+func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	entries := s.Registry.Entries()
+	resp := RegistryResponse{Default: s.Default, Registries: make([]RegistryInfo, 0, len(entries))}
+	for _, e := range entries {
+		info := RegistryInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			Backend:     e.Backend.Name(),
+			Provenance:  e.Backend.Provenance(),
+		}
+		if e.Bounds != nil {
+			info.BoundsCells = len(e.Bounds.Cells)
+		}
+		resp.Registries = append(resp.Registries, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fanOut runs fn(0..n-1) across a bounded worker pool — the
+// calibration-pool pattern (jobs channel, WaitGroup), sized like
+// Precalibrate.
+func fanOut(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// writeJSON encodes v with the fixed two-space indentation the goldens
+// pin down.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(blob, '\n'))
+}
+
+// writeError emits the JSON error envelope every non-2xx response uses.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/measure"
+)
+
+// boundsPair builds one Paired with a chosen relative error.
+func boundsPair(mach string, op machine.Op, p, m int, ref, est float64) Paired {
+	return Paired{
+		Scenario:  Scenario{Machine: mach, Op: op, Algorithm: DefaultAlgorithm, P: p, M: m, Config: measure.Fast()},
+		RefMicros: ref, EstMicros: est,
+	}
+}
+
+func TestBuildErrorTable(t *testing.T) {
+	b := &estimate.Calibrated{Sizes: []int{4, 8}}
+	pairs := []Paired{
+		// Two machine sizes pool into one (machine, op, m) cell.
+		boundsPair("T3D", machine.OpBroadcast, 8, 16, 100, 110),  // 10%
+		boundsPair("T3D", machine.OpBroadcast, 32, 16, 100, 104), // 4%
+		boundsPair("T3D", machine.OpBroadcast, 8, 1024, 200, 202),
+		boundsPair("SP2", machine.OpScatter, 8, 16, 50, 50),
+	}
+	table := BuildErrorTable(b, pairs)
+	if table.Backend != b.Name() || table.Provenance != b.Provenance() {
+		t.Fatalf("table identity %q/%q", table.Backend, table.Provenance)
+	}
+	if len(table.Cells) != 3 {
+		t.Fatalf("cells %+v", table.Cells)
+	}
+	// Sorted by (machine, op, m): SP2 first, then the T3D broadcasts
+	// by length.
+	if table.Cells[0].Machine != "SP2" || table.Cells[1].M != 16 || table.Cells[2].M != 1024 {
+		t.Fatalf("cell order %+v", table.Cells)
+	}
+	pooled := table.Cells[1]
+	if pooled.Points != 2 || pooled.Max != 0.10 {
+		t.Fatalf("pooled cell %+v", pooled)
+	}
+	if pooled.Median < 0.04 || pooled.Median > 0.10 {
+		t.Fatalf("pooled median %v", pooled.Median)
+	}
+}
+
+func TestErrorTableCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &estimate.Calibrated{Sizes: []int{4, 8}}
+	table := BuildErrorTable(b, []Paired{boundsPair("T3D", machine.OpBroadcast, 8, 16, 100, 103)})
+	key := estimate.ErrorTableKey(b)
+	if _, ok := cache.GetErrorTable(key); ok {
+		t.Fatal("hit before put")
+	}
+	if err := cache.PutErrorTable(key, "test table", table); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.GetErrorTable(key)
+	if !ok || len(got.Cells) != 1 || got.Cells[0].Max != 0.03 || !got.Describes(b) {
+		t.Fatalf("round trip %+v, %v", got, ok)
+	}
+	// A different calibration spec keys differently: no cross-serving.
+	if _, ok := cache.GetErrorTable(estimate.ErrorTableKey(&estimate.Calibrated{Sizes: []int{8, 32}})); ok {
+		t.Fatal("error table served across calibration specs")
+	}
+	// The nil cache stays a no-op.
+	var none *Cache
+	if err := none.PutErrorTable(key, "x", table); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := none.GetErrorTable(key); ok {
+		t.Fatal("nil cache produced a table")
+	}
+}
+
+func TestAttachBounds(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := estimate.NewRegistry()
+	cal := &estimate.Calibrated{Sizes: []int{4, 8}, Store: cache}
+	if err := reg.Register(&estimate.Entry{Name: "cal", Backend: cal, Ranges: cal.Range}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(&estimate.Entry{Name: "paper", Backend: estimate.PaperAnalytic()}); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := AttachBounds(reg, cache); n != 0 {
+		t.Fatalf("attached %d tables from an empty cache", n)
+	}
+	table := BuildErrorTable(cal, []Paired{boundsPair("T3D", machine.OpBroadcast, 8, 16, 100, 101)})
+	if err := cache.PutErrorTable(estimate.ErrorTableKey(cal), "cal table", table); err != nil {
+		t.Fatal(err)
+	}
+	if n := AttachBounds(reg, cache); n != 1 {
+		t.Fatalf("attached %d tables, want 1", n)
+	}
+	entry, _ := reg.Get("cal")
+	if entry.Bounds == nil || len(entry.Bounds.Cells) != 1 {
+		t.Fatalf("bounds %+v", entry.Bounds)
+	}
+	paperEntry, _ := reg.Get("paper")
+	if paperEntry.Bounds != nil {
+		t.Fatal("paper entry gained bounds it was never validated for")
+	}
+
+	// A table whose provenance drifted from the entry's backend must
+	// not attach, even if planted under the entry's current key.
+	stale := BuildErrorTable(&estimate.Calibrated{Sizes: []int{8, 32}}, nil)
+	if err := cache.PutErrorTable(estimate.ErrorTableKey(cal), "stale", stale); err != nil {
+		t.Fatal(err)
+	}
+	entry.Bounds = nil
+	if n := AttachBounds(reg, cache); n != 0 || entry.Bounds != nil {
+		t.Fatalf("stale table attached (n=%d)", n)
+	}
+
+	if n := AttachBounds(reg, nil); n != 0 {
+		t.Fatalf("nil cache attached %d", n)
+	}
+}

@@ -71,6 +71,14 @@ type exprEntry struct {
 	Expression fit.Expression `json:"expression"`
 }
 
+// errEntry is the envelope of one persisted validation error table (the
+// `sweep -validate` artifact the serving layer loads bounds from).
+type errEntry struct {
+	Key   string              `json:"key"`
+	ID    string              `json:"id"`
+	Table estimate.ErrorTable `json:"table"`
+}
+
 // Cache is a content-keyed result store, one JSON file per scenario
 // under a directory. It also persists the Calibrated backend's fitted
 // expressions (estimate.ExpressionStore), so one directory carries both
@@ -101,6 +109,10 @@ func (c *Cache) path(key string) string {
 
 func (c *Cache) exprPath(key string) string {
 	return filepath.Join(c.dir, key+".expr.json")
+}
+
+func (c *Cache) errPath(key string) string {
+	return filepath.Join(c.dir, key+".errors.json")
 }
 
 // Get returns the cached sample for key, if present and intact.
@@ -145,6 +157,30 @@ func (c *Cache) PutExpression(key, id string, e fit.Expression) error {
 		return nil
 	}
 	return c.writeAtomic(c.exprPath(key), exprEntry{Key: key, ID: id, Expression: e})
+}
+
+// GetErrorTable returns the persisted validation error table for key
+// (estimate.ErrorTableKey of the candidate backend), if present and
+// intact.
+func (c *Cache) GetErrorTable(key string) (estimate.ErrorTable, bool) {
+	if c == nil {
+		return estimate.ErrorTable{}, false
+	}
+	var e errEntry
+	if !readJSON(c.errPath(key), &e) || e.Key != key {
+		return estimate.ErrorTable{}, false
+	}
+	return e.Table, true
+}
+
+// PutErrorTable stores a validation error table under key, atomically,
+// as a stable *.errors.json artifact next to the expressions it
+// describes.
+func (c *Cache) PutErrorTable(key, id string, t estimate.ErrorTable) error {
+	if c == nil {
+		return nil
+	}
+	return c.writeAtomic(c.errPath(key), errEntry{Key: key, ID: id, Table: t})
 }
 
 // writeAtomic persists one JSON envelope via write-temp + rename.

@@ -20,6 +20,8 @@ out=$(go test -run '^$' \
 	-benchtime 1x .)
 out+=$'\n'
 out+=$(go test -run '^$' -bench 'BenchmarkKernelEvents' .)
+out+=$'\n'
+out+=$(go test -run '^$' -bench 'BenchmarkServeThroughput' ./internal/serve)
 
 record=$(
 	BENCH_SHA="$sha" BENCH_OUT="$out" python3 - <<'EOF'
