@@ -11,6 +11,7 @@
 //	predict -op alltoall -p 64 -m 512
 //	predict -op broadcast -p 32 -m 65536 -crossover SP2,Paragon
 //	predict -registry refit-default -cache .sweepcache -op alltoall -p 64 -m 512
+//	predict -registry refit-piecewise -op scatter -p 32 -m 1024
 //	predict -list-registries
 package main
 
@@ -33,7 +34,7 @@ func main() {
 		m         = flag.Int("m", 1024, "message length per node pair (bytes)")
 		crossover = flag.String("crossover", "", "pair \"A,B\": message size where B overtakes A")
 		registryF = flag.String("registry", "", "expression set from the registry (see -list-registries); overrides -backend")
-		backendF  = flag.String("backend", "paper", `legacy expression source: "paper" (= paper-table3) or "calibrated" (= refit-default)`)
+		backendF  = flag.String("backend", "paper", `legacy expression source: "paper" (= paper-table3), "calibrated" (= refit-default), or "piecewise" (= refit-piecewise)`)
 		cacheDir  = flag.String("cache", "", "sweep cache directory persisting calibrated expressions")
 		listReg   = flag.Bool("list-registries", false, "list the named expression sets and exit")
 	)
@@ -125,8 +126,10 @@ func predictor(reg *estimate.Registry, registryName, backend string, op machine.
 			name = "paper-table3"
 		case "calibrated":
 			name = "refit-default"
+		case "piecewise":
+			name = "refit-piecewise"
 		default:
-			return nil, nil, fmt.Errorf("unknown backend %q (want paper or calibrated; or use -registry)", backend)
+			return nil, nil, fmt.Errorf("unknown backend %q (want paper, calibrated, or piecewise; or use -registry)", backend)
 		}
 	}
 	entry, err := reg.Get(name)

@@ -23,6 +23,7 @@
 //	sweep -cache .sweepcache                 # warm runs are near-instant
 //	sweep -backend calibrated -cache .sweepcache
 //	sweep -validate                          # sim vs calibrated error report
+//	sweep -validate -piecewise               # protocol-aware piecewise fits
 //	sweep -machines SP2,T3D -ops alltoall -algs all -p 8,32,64
 //	sweep -algs default -p 2,4,8,16,32,64,128 -out grid.md -csv grid.csv
 package main
@@ -69,7 +70,9 @@ func run() int {
 		paperCfg   = flag.Bool("paper", false, "paper-faithful methodology (warm-up 2, k=20, 5 reps; slow)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		adaptive   = flag.Bool("adaptive", false, "calibrated backend: stop a triple's calibration sweep once the fit stabilizes (changes fits; cache keys carry the planner)")
-		tolF       = flag.Float64("tol", 0, "adaptive planner coefficient-stability tolerance (0 = default 0.02)")
+		tolF       = flag.Float64("tol", 0, "adaptive planner / piecewise probe coefficient-stability tolerance (0 = default 0.02)")
+		piecewise  = flag.Bool("piecewise", false, "calibrated backend: fit protocol-aware piecewise segments per triple instead of one affine model (closes the mid-length error gap; cache keys carry the fit family)")
+		maxSeg     = flag.Int("max-segments", 0, "piecewise fit: maximum number of affine segments (0 = no cap beyond detected regime boundaries)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep here")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the sweep) here")
 	)
@@ -152,12 +155,13 @@ func run() int {
 	}
 
 	planner := estimate.Planner{Adaptive: *adaptive, RelTol: *tolF}
+	fitCfg := estimate.FitConfig{Piecewise: *piecewise, MaxSegments: *maxSeg, RelTol: *tolF}
 
 	if *validate {
-		return runValidate(scns, spec, *backendF, planner, cache, *workers, *outPath, *csvPath, *quiet)
+		return runValidate(scns, spec, *backendF, planner, fitCfg, cache, *workers, *outPath, *csvPath, *quiet)
 	}
 
-	backend, err := buildBackend(*backendF, spec, cfg, planner, cache, estimate.NewSampleMemo(), *workers)
+	backend, err := buildBackend(*backendF, spec, cfg, planner, fitCfg, cache, estimate.NewSampleMemo(), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		return 2
@@ -207,7 +211,7 @@ func run() int {
 // emits the relative-error validation report (plus, with -csv, the
 // per-scenario rows of both passes, distinguished by the backend
 // column). It returns the process exit code.
-func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, planner estimate.Planner, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool) int {
+func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, planner estimate.Planner, fitCfg estimate.FitConfig, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool) int {
 	if backendName == "sim" || backendName == "" {
 		backendName = "calibrated" // validating sim against itself is vacuous
 	}
@@ -215,7 +219,7 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, pla
 	// backend's calibration sweep measure many identical cells, so each
 	// is simulated once.
 	memo := estimate.NewSampleMemo()
-	candidate, err := buildBackend(backendName, spec, scnConfig(scns, spec), planner, cache, memo, workers)
+	candidate, err := buildBackend(backendName, spec, scnConfig(scns, spec), planner, fitCfg, cache, memo, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		return 2
@@ -304,8 +308,9 @@ func countCached(results []sweep.Result) int {
 // buildBackend constructs the named estimation backend. The calibrated
 // backend calibrates over the grid's own sizes, lengths, and
 // methodology, so its fits interpolate exactly where they are asked;
-// memo and workers feed its measurement dedup and calibration pool.
-func buildBackend(name string, spec sweep.Spec, cfg measure.Config, planner estimate.Planner, cache *sweep.Cache, memo *estimate.SampleMemo, workers int) (estimate.Backend, error) {
+// memo and workers feed its measurement dedup and calibration pool,
+// and fitCfg selects the expression family (affine vs. piecewise).
+func buildBackend(name string, spec sweep.Spec, cfg measure.Config, planner estimate.Planner, fitCfg estimate.FitConfig, cache *sweep.Cache, memo *estimate.SampleMemo, workers int) (estimate.Backend, error) {
 	switch name {
 	case "sim", "":
 		return estimate.Sim{Memo: memo}, nil
@@ -314,7 +319,7 @@ func buildBackend(name string, spec sweep.Spec, cfg measure.Config, planner esti
 	case "calibrated":
 		c := &estimate.Calibrated{
 			Config: cfg, Sizes: spec.Sizes, Lengths: spec.Lengths,
-			Planner: planner, Memo: memo, Workers: workers,
+			Planner: planner, Fit: fitCfg, Memo: memo, Workers: workers,
 		}
 		if cache != nil {
 			c.Store = cache

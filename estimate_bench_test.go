@@ -74,3 +74,27 @@ func BenchmarkEstimateThroughput(b *testing.B) {
 		runGrid(b, scns, backend)
 	})
 }
+
+// --- Piecewise serving: warm closed-form throughput, affine vs the
+// protocol-aware piecewise family. Segment dispatch is a short linear
+// scan per estimate, so the piecewise numbers must stay within ~10% of
+// affine — BENCH.md tracks the pair. Run with the default -benchtime
+// (steady state), not 1x.
+
+func BenchmarkPiecewiseServing(b *testing.B) {
+	scns := estimateGrid(b)
+	warm := func(b *testing.B, fit estimate.FitConfig) {
+		backend := &estimate.Calibrated{Config: benchCfg, Sizes: []int{8, 32}, Fit: fit}
+		(&sweep.Runner{Backend: backend}).Run(scns) // calibrate off the clock
+		b.ResetTimer()
+		runGrid(b, scns, backend)
+	}
+
+	b.Run("affine-warm", func(b *testing.B) {
+		warm(b, estimate.FitConfig{})
+	})
+
+	b.Run("piecewise-warm", func(b *testing.B) {
+		warm(b, estimate.FitConfig{Piecewise: true})
+	})
+}

@@ -3,7 +3,6 @@ package estimate
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,8 +22,10 @@ const BackendCalibrated = "calibrated"
 // provenance; bump it when the calibration procedure changes in a way
 // the key fields do not capture. v2: keys carry the planner
 // configuration (the adaptive planner changes which grid cells feed a
-// fit).
-const calibrationVersion = 2
+// fit). v3: keys carry the fit family (affine vs. piecewise), so every
+// pre-piecewise *.expr.json entry self-invalidates and a piecewise
+// backend can never serve an affine fit or vice versa.
+const calibrationVersion = 3
 
 // defaultAlg is the algorithm alias meaning "the machine's vendor table
 // entry" (sweep.DefaultAlgorithm; spelled out here to avoid an import
@@ -106,6 +107,49 @@ func (pl Planner) minLengths(total int) int {
 	return n
 }
 
+// FitConfig selects the expression family a triple's calibration fits.
+// The zero value fits the paper's affine model (fit.TwoStage); enabling
+// Piecewise fits protocol-aware segments (fit.Piecewise) instead, which
+// closes the affine model's mid-length error gap. The configuration is
+// part of the backend's provenance and of every expression key.
+type FitConfig struct {
+	// Piecewise, when true, fits K ≥ 1 affine segments per triple with
+	// breakpoints detected by the consecutive-refit-delta probe and K
+	// chosen by grid-validated error (see fit.Piecewise); K = 1 degrades
+	// to the affine fit, so each triple individually keeps the simpler
+	// model when it already fits.
+	Piecewise bool `json:"piecewise"`
+	// MaxSegments caps K; ≤ 0 means fit.PiecewiseOptions' default — no
+	// cap beyond one segment per detected regime boundary.
+	MaxSegments int `json:"max_segments"`
+	// RelTol is the probe's breakpoint threshold; ≤ 0 means the
+	// default (0.02).
+	RelTol float64 `json:"rel_tol"`
+}
+
+// normalized canonicalizes the fit config for provenance and keys: a
+// disabled config is the zero value whatever its other fields say, and
+// an enabled one pins its defaults, so configurations that compute
+// identically key identically.
+func (fc FitConfig) normalized() FitConfig {
+	if !fc.Piecewise {
+		return FitConfig{}
+	}
+	if fc.MaxSegments < 0 {
+		fc.MaxSegments = 0 // canonical "uncapped"
+	}
+	if fc.RelTol <= 0 {
+		fc.RelTol = 0.02
+	}
+	return FitConfig{Piecewise: true, MaxSegments: fc.MaxSegments, RelTol: fc.RelTol}
+}
+
+// options returns the fit.Piecewise options the config denotes.
+func (fc FitConfig) options() fit.PiecewiseOptions {
+	n := fc.normalized()
+	return fit.PiecewiseOptions{MaxSegments: n.MaxSegments, RelTol: n.RelTol}
+}
+
 // Calibrated is the measure-then-model backend: on the first request
 // for a (machine, op, algorithm) triple it runs a small seeded sim
 // sweep over the calibration grid, fits a Table 3-style expression with
@@ -132,8 +176,14 @@ type Calibrated struct {
 	// paper.MessageLengths. Barriers always calibrate at length 0.
 	Lengths []int
 	// Planner bounds the measured grid; the zero value measures it
-	// fully.
+	// fully. Piecewise calibrations (see Fit) always measure the full
+	// grid — the breakpoint probe scans every column — so the planner is
+	// ignored (and normalized away in provenance) when Fit.Piecewise is
+	// set.
 	Planner Planner
+	// Fit selects the expression family fitted per triple; the zero
+	// value is the paper's affine model.
+	Fit FitConfig
 	// Store, when non-nil, persists fitted expressions across
 	// processes under content keys.
 	Store ExpressionStore
@@ -171,9 +221,9 @@ type Triple struct {
 // Name returns "calibrated".
 func (*Calibrated) Name() string { return BackendCalibrated }
 
-// Provenance hashes the calibration spec (grid, methodology, and
-// planner), so sweep-cache entries derived from one calibration never
-// serve another.
+// Provenance hashes the calibration spec (grid, methodology, planner,
+// and fit family), so sweep-cache entries derived from one calibration
+// never serve another.
 func (c *Calibrated) Provenance() string {
 	blob, err := json.Marshal(struct {
 		V       int            `json:"v"`
@@ -181,24 +231,33 @@ func (c *Calibrated) Provenance() string {
 		Lengths []int          `json:"lengths"`
 		Config  measure.Config `json:"config"`
 		Planner Planner        `json:"planner"`
-	}{calibrationVersion, c.Sizes, c.Lengths, c.config(), c.Planner.normalized()})
+		Fit     FitConfig      `json:"fit"`
+	}{calibrationVersion, c.Sizes, c.Lengths, c.config(), c.planner(), c.Fit.normalized()})
 	if err != nil {
 		panic(fmt.Sprintf("estimate: calibrated provenance: %v", err))
 	}
 	return hashJSON(blob)
 }
 
+// planner returns the normalized planner that actually governs
+// calibration: piecewise fits measure the full grid, so their planner
+// canonicalizes to the zero value and configurations that compute
+// identically key identically.
+func (c *Calibrated) planner() Planner {
+	if c.Fit.normalized().Piecewise {
+		return Planner{}
+	}
+	return c.Planner.normalized()
+}
+
 // Estimate serves (op, algs, p, m) on mach from the triple's fitted
 // expression, calibrating it first if this is the triple's first use.
 func (c *Calibrated) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, _ measure.Config) Estimate {
 	e := c.Expression(mach, op, algs.Get(op))
-	perByte := e.EvalPerByte(p)
-	if perByte < 0 {
-		// Clamp like model.Predictor.Time: small negative fitted terms
-		// go non-physical outside the calibrated range.
-		perByte = 0
-	}
-	t := e.EvalStartup(p) + perByte*float64(m)
+	// Predict clamps small negative fitted per-byte terms (non-physical
+	// outside the calibrated range) and dispatches piecewise fits to the
+	// segment covering m, exactly like model.Predictor.Time.
+	t := e.Predict(m, p)
 	return closedForm(BackendCalibrated, mach.Name(), op, p, m, t)
 }
 
@@ -320,7 +379,7 @@ func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string)
 
 	var key string
 	if c.Store != nil {
-		key = expressionKey(mach, op, alg, sizes, lengths, cfg, c.Planner.normalized())
+		key = expressionKey(mach, op, alg, sizes, lengths, cfg, c.planner(), c.Fit.normalized())
 		if e, ok := c.Store.GetExpression(key); ok {
 			return e
 		}
@@ -329,9 +388,15 @@ func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string)
 	startupShape := paper.StartupShape(op)
 	perByteShape := paper.PerByteShape(mach.Name(), op)
 	var e fit.Expression
-	if c.Planner.Adaptive && len(lengths) > 2 {
+	switch {
+	case c.Fit.Piecewise:
+		// Piecewise fits measure the full grid: the breakpoint probe
+		// needs every column, so the adaptive planner does not apply.
+		d := c.Memo.Dataset(mach, op, algs, sizes, lengths, cfg)
+		e = fit.Piecewise(d, startupShape, perByteShape, c.Fit.options())
+	case c.Planner.Adaptive && len(lengths) > 2:
 		e = c.adaptiveFit(mach, op, algs, sizes, lengths, cfg, startupShape, perByteShape)
-	} else {
+	default:
 		d := c.Memo.Dataset(mach, op, algs, sizes, lengths, cfg)
 		e = fit.TwoStage(d, startupShape, perByteShape)
 	}
@@ -367,26 +432,12 @@ func (c *Calibrated) adaptiveFit(mach *machine.Machine, op machine.Op, algs mpi.
 	for i := min - 1; i < len(lengths)-1; i++ {
 		measureColumn(lengths[i])
 		next := fit.TwoStage(d, startupShape, perByteShape)
-		if exprStable(prev, next, tol) {
+		if fit.Stable(prev, next, tol) {
 			return next
 		}
 		prev = next
 	}
 	return prev
-}
-
-// exprStable reports whether two successive fits agree within tol on
-// every coefficient, with no shape flip.
-func exprStable(a, b fit.Expression, tol float64) bool {
-	return a.Startup.Kind == b.Startup.Kind && a.PerByte.Kind == b.PerByte.Kind &&
-		coefStable(a.Startup.A, b.Startup.A, tol) &&
-		coefStable(a.Startup.B, b.Startup.B, tol) &&
-		coefStable(a.PerByte.A, b.PerByte.A, tol) &&
-		coefStable(a.PerByte.B, b.PerByte.B, tol)
-}
-
-func coefStable(x, y, tol float64) bool {
-	return math.Abs(x-y) <= tol*math.Max(math.Abs(x), math.Abs(y))+1e-9
 }
 
 func (c *Calibrated) config() measure.Config {
@@ -438,9 +489,9 @@ func (c *Calibrated) lengthsFor(op machine.Op) []int {
 
 // expressionKey is the content key of one triple's fit: identical
 // calibration inputs — machine constants, operation, resolved
-// algorithm, grid, methodology, planner — always produce the same key,
-// and any drift produces a different one.
-func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, lengths []int, cfg measure.Config, pl Planner) string {
+// algorithm, grid, methodology, planner, fit family — always produce
+// the same key, and any drift produces a different one.
+func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, lengths []int, cfg measure.Config, pl Planner, fc FitConfig) string {
 	blob, err := json.Marshal(struct {
 		V           int            `json:"v"`
 		Calibration string         `json:"calibration"`
@@ -450,7 +501,8 @@ func expressionKey(mach *machine.Machine, op machine.Op, alg string, sizes, leng
 		Lengths     []int          `json:"lengths"`
 		Config      measure.Config `json:"config"`
 		Planner     Planner        `json:"planner"`
-	}{calibrationVersion, Fingerprint(mach), op, alg, sizes, lengths, cfg, pl})
+		Fit         FitConfig      `json:"fit"`
+	}{calibrationVersion, Fingerprint(mach), op, alg, sizes, lengths, cfg, pl, fc})
 	if err != nil {
 		panic(fmt.Sprintf("estimate: expression key %s/%s[%s]: %v", mach.Name(), op, alg, err))
 	}

@@ -49,6 +49,27 @@ type ErrorCell struct {
 // in m, so the neighbor is the honest stand-in). ok is false when the
 // table has no (machine, op) rows at all. A nil table bounds nothing.
 func (t *ErrorTable) Bound(mach string, op machine.Op, m int) (ErrorCell, bool) {
+	return t.nearest(mach, op, m, 0, math.MaxInt)
+}
+
+// BoundIn is Bound constrained to validated lengths within [lo, hi] —
+// the lookup the serving layer uses for piecewise answers, so the
+// expected error annotated on an answer is measured on the same
+// protocol segment that produced the number, never borrowed across a
+// regime boundary. When no cell lies inside the range (a validation
+// sparser than the calibration grid) it falls back to the
+// unconstrained nearest-length lookup.
+func (t *ErrorTable) BoundIn(mach string, op machine.Op, m, lo, hi int) (ErrorCell, bool) {
+	if c, ok := t.nearest(mach, op, m, lo, hi); ok {
+		return c, true
+	}
+	return t.Bound(mach, op, m)
+}
+
+// nearest is the one nearest-cell scan behind Bound and BoundIn: the
+// exact cell when a validated length in [lo, hi] matches m, otherwise
+// the in-range cell with the nearest length on a log scale.
+func (t *ErrorTable) nearest(mach string, op machine.Op, m, lo, hi int) (ErrorCell, bool) {
 	if t == nil {
 		return ErrorCell{}, false
 	}
@@ -56,7 +77,7 @@ func (t *ErrorTable) Bound(mach string, op machine.Op, m int) (ErrorCell, bool) 
 	bestDist := math.Inf(1)
 	found := false
 	for _, c := range t.Cells {
-		if c.Machine != mach || c.Op != op {
+		if c.Machine != mach || c.Op != op || c.M < lo || c.M > hi {
 			continue
 		}
 		if c.M == m {

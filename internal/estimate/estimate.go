@@ -1,23 +1,3 @@
-// Package estimate unifies the repository's two prediction paths — the
-// discrete-event simulator and the analytic evaluation of fitted timing
-// expressions — behind one pluggable Backend interface. The paper's
-// closing argument is exactly this split: measure once to fit the
-// Table 3 expressions, then predict collective performance at service
-// speed without rerunning the machine. Three backends implement it:
-//
-//   - Sim measures through the full §2 benchmark procedure on the
-//     simulated machine (slow, exact — the calibration and ground-truth
-//     route).
-//   - Analytic evaluates a fixed expression set (paper Table 3 or any
-//     regenerated fit) in closed form (instant, no simulation).
-//   - Calibrated fits expressions from a small seeded simulator sweep
-//     per (machine, op, algorithm) via fit.TwoStage, optionally
-//     persists them through a content-keyed ExpressionStore, and then
-//     serves at analytic speed with a measurable error bound.
-//
-// The sweep engine (internal/sweep) and the CLI tools accept any
-// Backend, so every scenario grid can be answered either exactly or at
-// serving speed from the same specs, caches, and reports.
 package estimate
 
 import (

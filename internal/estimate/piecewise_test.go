@@ -1,0 +1,161 @@
+package estimate
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/paper"
+)
+
+// pwCal returns a piecewise-fitting backend over the default
+// calibration grid for the tests below.
+func pwCal(store ExpressionStore, memo *SampleMemo) *Calibrated {
+	return &Calibrated{
+		Sizes: DefaultCalibrationSizes, Fit: FitConfig{Piecewise: true},
+		Store: store, Memo: memo,
+	}
+}
+
+// TestPiecewiseExpressionStoreRoundTrip: a piecewise fit persisted
+// through the expression store must come back segment for segment, and
+// a second backend instance must serve it without refitting.
+func TestPiecewiseExpressionStoreRoundTrip(t *testing.T) {
+	store := &countingStore{}
+	memo := NewSampleMemo()
+	mach := machine.T3D()
+	alg := mpi.DefaultAlgorithms(mach).Get(machine.OpBroadcast)
+
+	first := pwCal(store, memo).Expression(mach, machine.OpBroadcast, alg)
+	if !first.IsPiecewise() {
+		t.Fatalf("T3D broadcast fitted affine over the paper grid: %s", first)
+	}
+	if store.puts != 1 {
+		t.Fatalf("calibration stored %d expressions, want 1", store.puts)
+	}
+
+	second := pwCal(store, memo).Expression(mach, machine.OpBroadcast, alg)
+	if store.hits != 1 || store.puts != 1 {
+		t.Fatalf("second instance did not serve the stored fit (hits=%d puts=%d)", store.hits, store.puts)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("piecewise fit drifted through the store:\n  put %v\n  got %v", first, second)
+	}
+}
+
+// TestAffineToPiecewiseSelfInvalidation: enabling the piecewise fit
+// family changes every expression key and the backend provenance, so
+// persisted affine fits (and sweep results derived from them) can never
+// be served to a piecewise backend — the affine→piecewise upgrade
+// self-invalidates instead of silently mixing models.
+func TestAffineToPiecewiseSelfInvalidation(t *testing.T) {
+	store := &countingStore{}
+	memo := NewSampleMemo()
+	mach := machine.T3D()
+	op := machine.OpBroadcast
+	alg := mpi.DefaultAlgorithms(mach).Get(op)
+
+	affine := &Calibrated{Sizes: DefaultCalibrationSizes, Store: store, Memo: memo}
+	piecewise := pwCal(store, memo)
+	if affine.Provenance() == piecewise.Provenance() {
+		t.Fatal("affine and piecewise backends share a provenance")
+	}
+
+	affine.Expression(mach, op, alg)
+	if store.puts != 1 {
+		t.Fatalf("affine calibration stored %d expressions, want 1", store.puts)
+	}
+	e := piecewise.Expression(mach, op, alg)
+	if store.hits != 0 {
+		t.Fatal("piecewise backend was served a persisted affine fit")
+	}
+	if store.puts != 2 {
+		t.Fatalf("piecewise calibration did not persist its own fit (puts=%d)", store.puts)
+	}
+	if !e.IsPiecewise() {
+		t.Fatalf("piecewise backend produced an affine fit: %s", e)
+	}
+}
+
+// TestPiecewisePinsWorstMidLengthCells is the regression pin for the
+// mid-length error gap: the broadcast and scatter cells the affine
+// model mispredicted worst before the piecewise fit (up to ~94%
+// relative error at m = 256..4096, see ROADMAP "Mid-length fit
+// quality") must stay below 10% — and the affine fit must still be bad
+// there, or the regression lost its teeth.
+func TestPiecewisePinsWorstMidLengthCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates four triples over the full paper lengths")
+	}
+	cells := []struct {
+		mach *machine.Machine
+		op   machine.Op
+		alg  string
+		p, m int
+	}{
+		// The four worst pre-fix broadcast/scatter scenarios of the
+		// default-grid validation (86–94% relative error).
+		{machine.Paragon(), machine.OpBroadcast, "linear", 8, 4096},
+		{machine.Paragon(), machine.OpScatter, "linear", 32, 4096},
+		{machine.Paragon(), machine.OpBroadcast, "linear", 32, 4096},
+		{machine.SP2(), machine.OpScatter, "linear", 32, 256},
+	}
+	memo := NewSampleMemo()
+	piecewise := pwCal(nil, memo)
+	affine := &Calibrated{Sizes: DefaultCalibrationSizes, Memo: memo}
+	cfg := piecewise.config()
+
+	relErr := func(c *Calibrated, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int) float64 {
+		sim := memo.Measure(mach, op, algs, p, m, cfg).Micros
+		est := c.Estimate(mach, op, algs, p, m, cfg).Sample.Micros
+		re := (est - sim) / sim
+		if re < 0 {
+			re = -re
+		}
+		return re
+	}
+	affineStillBad := false
+	for _, cell := range cells {
+		algs := mpi.DefaultAlgorithms(cell.mach).With(cell.op, cell.alg)
+		if re := relErr(piecewise, cell.mach, cell.op, algs, cell.p, cell.m); re > 0.10 {
+			t.Errorf("%s/%s[%s] p=%d m=%d: piecewise error %.1f%% > 10%%",
+				cell.mach.Name(), cell.op, cell.alg, cell.p, cell.m, 100*re)
+		}
+		if re := relErr(affine, cell.mach, cell.op, algs, cell.p, cell.m); re > 0.20 {
+			affineStillBad = true
+		}
+	}
+	if !affineStillBad {
+		t.Error("the affine fit now handles every pinned cell within 20% — move the pin to harder cells")
+	}
+}
+
+// TestPiecewiseBarrierStaysAffine: startup-only triples never fit
+// segments, whatever the fit family says.
+func TestPiecewiseBarrierStaysAffine(t *testing.T) {
+	mach := machine.T3D()
+	e := pwCal(nil, NewSampleMemo()).Expression(mach, machine.OpBarrier, mpi.DefaultAlgorithms(mach).Barrier)
+	if e.IsPiecewise() || !e.StartupOnly() {
+		t.Fatalf("barrier fitted segments: %s", e)
+	}
+}
+
+// TestPiecewiseRangeUnchanged: the calibrated envelope of a piecewise
+// backend is the same grid rectangle as the affine one's — segments
+// tile the length range, they do not extend it.
+func TestPiecewiseRangeUnchanged(t *testing.T) {
+	memo := NewSampleMemo()
+	pw := pwCal(nil, memo)
+	af := &Calibrated{Sizes: DefaultCalibrationSizes, Memo: memo}
+	mach := machine.SP2()
+	pr, _ := pw.Range(mach, machine.OpScatter)
+	ar, _ := af.Range(mach, machine.OpScatter)
+	if pr != ar {
+		t.Fatalf("piecewise envelope %v differs from affine %v", pr, ar)
+	}
+	lengths := paper.MessageLengths()
+	if pr.MMin != lengths[0] || pr.MMax != lengths[len(lengths)-1] {
+		t.Fatalf("envelope %v does not span the paper lengths", pr)
+	}
+}

@@ -195,29 +195,32 @@ var DefaultCalibrationSizes = []int{8, 32}
 // StandardRegistry assembles the stock expression-set registry shared
 // by cmd/serve and cmd/predict:
 //
-//	paper-table3    the paper's published Table 3 (analytic, fixed)
-//	refit-default   expressions recalibrated from the simulator over
-//	                the calibration grid, full measurement plan
-//	refit-adaptive  the same grid under the adaptive planner (stops a
-//	                triple's sweep once the fit stabilizes)
+//	paper-table3     the paper's published Table 3 (analytic, fixed)
+//	refit-default    expressions recalibrated from the simulator over
+//	                 the calibration grid, full measurement plan
+//	refit-adaptive   the same grid under the adaptive planner (stops a
+//	                 triple's sweep once the fit stabilizes)
+//	refit-piecewise  protocol-aware piecewise fits over the same grid
+//	                 (closes the affine model's mid-length error gap)
 //
-// Both refit entries distinguish per-variant algorithm families — each
+// The refit entries distinguish per-variant algorithm families — each
 // (machine, op, algorithm) triple carries its own fit.
 func StandardRegistry(cfg RegistryConfig) *Registry {
 	sizes := cfg.Sizes
 	if len(sizes) == 0 {
 		sizes = DefaultCalibrationSizes
 	}
-	newCalibrated := func(pl Planner) *Calibrated {
+	newCalibrated := func(pl Planner, fc FitConfig) *Calibrated {
 		return &Calibrated{
 			Config: cfg.Config, Sizes: sizes, Lengths: cfg.Lengths,
-			Planner: pl, Store: cfg.Store, Memo: cfg.Memo, Workers: cfg.Workers,
+			Planner: pl, Fit: fc, Store: cfg.Store, Memo: cfg.Memo, Workers: cfg.Workers,
 		}
 	}
 	r := NewRegistry()
 	analytic := PaperAnalytic()
-	full := newCalibrated(Planner{})
-	adaptive := newCalibrated(Planner{Adaptive: true})
+	full := newCalibrated(Planner{}, FitConfig{})
+	adaptive := newCalibrated(Planner{Adaptive: true}, FitConfig{})
+	piecewise := newCalibrated(Planner{}, FitConfig{Piecewise: true})
 	for _, e := range []*Entry{
 		{
 			Name:        "paper-table3",
@@ -236,6 +239,12 @@ func StandardRegistry(cfg RegistryConfig) *Registry {
 			Description: "expressions recalibrated under the adaptive planner (early-stopping sweeps)",
 			Backend:     adaptive,
 			Ranges:      adaptive.Range,
+		},
+		{
+			Name:        "refit-piecewise",
+			Description: "protocol-aware piecewise fits (affine segments per message-length regime)",
+			Backend:     piecewise,
+			Ranges:      piecewise.Range,
 		},
 	} {
 		if err := r.Register(e); err != nil {

@@ -88,7 +88,7 @@ func TestRegistryRegisterAndGet(t *testing.T) {
 
 func TestStandardRegistry(t *testing.T) {
 	r := StandardRegistry(RegistryConfig{Config: tinyCfg})
-	want := []string{"paper-table3", "refit-adaptive", "refit-default"}
+	want := []string{"paper-table3", "refit-adaptive", "refit-default", "refit-piecewise"}
 	names := r.Names()
 	if len(names) != len(want) {
 		t.Fatalf("names %v", names)
@@ -184,6 +184,33 @@ func TestErrorTableBound(t *testing.T) {
 	}
 	var nilTable *ErrorTable
 	if _, ok := nilTable.Bound("SP2", machine.OpBroadcast, 16); ok {
+		t.Fatal("nil table produced a bound")
+	}
+}
+
+func TestErrorTableBoundIn(t *testing.T) {
+	table := &ErrorTable{Cells: []ErrorCell{
+		{Machine: "SP2", Op: machine.OpBroadcast, M: 16, Median: 0.01, Max: 0.02, Points: 4},
+		{Machine: "SP2", Op: machine.OpBroadcast, M: 1024, Median: 0.03, Max: 0.06, Points: 4},
+		{Machine: "SP2", Op: machine.OpBroadcast, M: 65536, Median: 0.002, Max: 0.004, Points: 4},
+	}}
+	// Unconstrained, m=200 resolves to 1024; confined to the low
+	// segment [4, 256] it must stay at 16 — a bound is never borrowed
+	// across a regime boundary.
+	if c, ok := table.BoundIn("SP2", machine.OpBroadcast, 200, 4, 256); !ok || c.M != 16 {
+		t.Fatalf("segment-confined bound %v, %v; want the m=16 cell", c, ok)
+	}
+	// Exact validated length inside the segment wins outright.
+	if c, ok := table.BoundIn("SP2", machine.OpBroadcast, 1024, 256, 4096); !ok || c.M != 1024 {
+		t.Fatalf("exact in-segment bound %v, %v", c, ok)
+	}
+	// A segment with no validated cells falls back to the nearest
+	// overall — better an honest neighbor than no bound.
+	if c, ok := table.BoundIn("SP2", machine.OpBroadcast, 300, 256, 512); !ok || c.M != 1024 {
+		t.Fatalf("empty-segment fallback %v, %v", c, ok)
+	}
+	var nilTable *ErrorTable
+	if _, ok := nilTable.BoundIn("SP2", machine.OpBroadcast, 16, 4, 256); ok {
 		t.Fatal("nil table produced a bound")
 	}
 }

@@ -55,17 +55,14 @@ func (pr *Predictor) Expression(mach string, op machine.Op) (fit.Expression, boo
 // operations — these are programming errors in a fixed study. The
 // per-byte rate is clamped at zero: several Table 3 fits have small
 // negative terms that would go non-physical outside the measured range
-// (e.g. the SP2 total exchange at p = 2).
+// (e.g. the SP2 total exchange at p = 2). Piecewise expressions are
+// answered by the segment covering m.
 func (pr *Predictor) Time(mach string, op machine.Op, m, p int) float64 {
 	e, ok := pr.Expression(mach, op)
 	if !ok {
 		panic("model: no expression for " + mach + "/" + string(op))
 	}
-	perByte := e.EvalPerByte(p)
-	if perByte < 0 {
-		perByte = 0
-	}
-	return e.EvalStartup(p) + perByte*float64(m)
+	return e.Predict(m, p)
 }
 
 // Startup predicts T0(p) in µs.
@@ -99,23 +96,44 @@ func (pr *Predictor) Rank(op machine.Op, m, p int) []string {
 
 // Crossover finds the message length at which machine b becomes faster
 // than machine a for the given operation and size, searching lengths in
-// [lo, hi]. It returns the smallest such m and true, or 0 and false if
-// the ranking never flips in range.
+// [lo, hi]. It returns such an m and true, or 0 and false when b is
+// never observed faster. For affine models the difference is monotone
+// in m, so the result is exact and minimal. Piecewise models can flip
+// back (b faster only in a mid-length window), so the range is first
+// bracketed at power-of-two lengths — a window spanning at least one
+// octave is always found — and the bracket refined by binary search;
+// windows narrower than an octave between scan points may be missed.
 func (pr *Predictor) Crossover(a, b string, op machine.Op, p, lo, hi int) (int, bool) {
 	if lo < 1 {
 		lo = 1
 	}
-	if pr.Time(b, op, lo, p) < pr.Time(a, op, lo, p) {
+	bWins := func(m int) bool { return pr.Time(b, op, m, p) < pr.Time(a, op, m, p) }
+	if bWins(lo) {
 		return lo, true // b already wins at the bottom of the range
 	}
-	// The difference is monotone in m (both models are affine in m), so
-	// binary search on the sign change.
-	if pr.Time(b, op, hi, p) >= pr.Time(a, op, hi, p) {
-		return 0, false
+	// Bracket: walk doubling lengths (hi included) until b wins.
+	prev, at := lo, 0
+	for m := lo * 2; ; m *= 2 {
+		if m > hi {
+			m = hi
+		}
+		if m <= prev {
+			return 0, false
+		}
+		if bWins(m) {
+			at = m
+			break
+		}
+		prev = m
+		if m == hi {
+			return 0, false
+		}
 	}
+	// Refine: binary search on the first flip inside (prev, at].
+	lo, hi = prev+1, at
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if pr.Time(b, op, mid, p) < pr.Time(a, op, mid, p) {
+		mid := lo + (hi-lo)/2
+		if bWins(mid) {
 			hi = mid
 		} else {
 			lo = mid + 1

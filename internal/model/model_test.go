@@ -227,6 +227,45 @@ func TestRankFlipsAtCrossover(t *testing.T) {
 	}
 }
 
+// TestCrossoverFindsMidLengthWindow: with piecewise expressions the
+// ranking can flip back — b faster only in a mid-length window — and
+// the old affine precondition (b must win at hi) would miss it. The
+// bracketing scan must find the window.
+func TestCrossoverFindsMidLengthWindow(t *testing.T) {
+	lin := func(a, b float64) fit.Form { return fit.Form{Kind: fit.Linear, A: a, B: b} }
+	// "steady" is affine; "bursty" undercuts it only in m ∈ [1024, 16384]
+	// (cheap eager segment), then loses again in its rendezvous segment.
+	pr := New(map[string]map[machine.Op]fit.Expression{
+		"steady": {machine.OpAlltoall: {Startup: lin(0, 500), PerByte: lin(0, 0.05)}},
+		"bursty": {machine.OpAlltoall: {
+			Startup: lin(0, 2000), PerByte: lin(0, 0.05),
+			Segments: []fit.Segment{
+				{MMin: 4, MMax: 1024, Startup: lin(0, 2000), PerByte: lin(0, 0.05)},
+				{MMin: 1024, MMax: 16384, Startup: lin(0, 100), PerByte: lin(0, 0.01)},
+				{MMin: 16384, MMax: 1 << 20, Startup: lin(0, 2000), PerByte: lin(0, 0.1)},
+			},
+		}},
+	})
+	// bursty loses at both ends of the range...
+	if pr.Time("bursty", machine.OpAlltoall, 4, 8) < pr.Time("steady", machine.OpAlltoall, 4, 8) {
+		t.Fatal("test setup: bursty must lose at the bottom")
+	}
+	if pr.Time("bursty", machine.OpAlltoall, 1<<20, 8) < pr.Time("steady", machine.OpAlltoall, 1<<20, 8) {
+		t.Fatal("test setup: bursty must lose at the top")
+	}
+	// ...but the scan still finds the mid-length window where it wins.
+	m, ok := pr.Crossover("steady", "bursty", machine.OpAlltoall, 8, 4, 1<<20)
+	if !ok {
+		t.Fatal("mid-length crossover window missed")
+	}
+	if pr.Time("bursty", machine.OpAlltoall, m, 8) >= pr.Time("steady", machine.OpAlltoall, m, 8) {
+		t.Fatalf("reported crossover m=%d is not a win", m)
+	}
+	if m < 1024 || m > 16384 {
+		t.Fatalf("crossover m=%d outside the winning segment [1024, 16384]", m)
+	}
+}
+
 func TestCrossoverClampsLowBound(t *testing.T) {
 	pr := twoMachinePredictor()
 	// lo < 1 must clamp rather than probe m=0 (degenerate for

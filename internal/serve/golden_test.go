@@ -64,6 +64,80 @@ func TestGoldenFixedRegistry(t *testing.T) {
 	checkGolden(t, "fixed_registry.golden.json", rec.Body.Bytes())
 }
 
+// TestGoldenPiecewiseRegistry pins the serving surface of the
+// refit-piecewise expression set: answers carry the protocol segment
+// that produced them (segment_m_min/segment_m_max) and an expected
+// error looked up within that segment — all byte-stable.
+func TestGoldenPiecewiseRegistry(t *testing.T) {
+	// A focused grid over the cells the affine model mispredicts worst:
+	// T3D broadcast and scatter, every algorithm variant, the paper's
+	// lengths at the default calibration sizes.
+	spec := sweep.Spec{
+		Machines: []string{"T3D"},
+		Ops:      []machine.Op{machine.OpBroadcast, machine.OpScatter},
+		Algorithms: sweep.AllAlgorithms(
+			[]machine.Op{machine.OpBroadcast, machine.OpScatter}),
+		Sizes: estimate.DefaultCalibrationSizes,
+	}
+	scns, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := estimate.NewSampleMemo()
+	reg := estimate.StandardRegistry(estimate.RegistryConfig{Memo: memo})
+	entry, err := reg.Get("refit-piecewise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simResults := (&sweep.Runner{Backend: estimate.Sim{Memo: memo}}).Run(scns)
+	estResults := (&sweep.Runner{Backend: entry.Backend}).Run(scns)
+	pairs, err := sweep.Pair(simResults, estResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := sweep.BuildErrorTable(entry.Backend, pairs)
+	entry.Bounds = &table
+
+	s := &Server{Registry: reg, Default: "refit-piecewise", Sim: estimate.Sim{Memo: memo}}
+	// Mid-length scenarios (the regime the piecewise fit exists for),
+	// one interpolated length (m=3000: bound must stay inside the
+	// serving segment), and one out-of-range fallback.
+	body := `[{"machine":"T3D","op":"broadcast","p":8,"m":1024},
+	          {"machine":"T3D","op":"broadcast","p":32,"m":4096},
+	          {"machine":"T3D","op":"scatter","algorithm":"linear","p":32,"m":256},
+	          {"machine":"T3D","op":"broadcast","p":8,"m":3000},
+	          {"machine":"T3D","op":"scatter","p":8,"m":262144}]`
+	rec := post(t, s, body, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range resp.Answers[:4] {
+		if a.Fallback || a.Backend != estimate.BackendCalibrated {
+			t.Fatalf("answer %d not served by the piecewise set: %+v", i, a)
+		}
+		b := a.ExpectedError
+		if b == nil {
+			t.Fatalf("answer %d carries no bound: %+v", i, a)
+		}
+		if b.SegmentMMax == 0 {
+			t.Fatalf("answer %d names no serving segment: %+v", i, b)
+		}
+		if b.BasisM < b.SegmentMMin || b.BasisM > b.SegmentMMax {
+			t.Fatalf("answer %d bound basis m=%d outside its segment [%d,%d]",
+				i, b.BasisM, b.SegmentMMin, b.SegmentMMax)
+		}
+	}
+	if last := resp.Answers[4]; !last.Fallback || last.Backend != estimate.BackendSim {
+		t.Fatalf("out-of-range answer not a sim fallback: %+v", last)
+	}
+	checkGolden(t, "piecewise_registry.golden.json", rec.Body.Bytes())
+}
+
 // TestGoldenDefaultGrid is the acceptance pin: the default 788-scenario
 // sweep grid, answered in one batched request by the calibrated
 // registry entry with validated error bounds attached, plus two

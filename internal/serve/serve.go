@@ -1,23 +1,3 @@
-// Package serve exposes the estimation engine over HTTP/JSON — the
-// paper's closing promise ("predict collective performance without
-// running the machine") as a queryable network service. One POST
-// answers a single scenario or a whole scenario grid; every request
-// selects a named expression set from an estimate.Registry; calibrated
-// answers carry the expected relative error measured by a sim
-// validation; and requests outside the calibrated (p, m) envelope fall
-// back to the exact simulator, flagged as such, instead of silently
-// extrapolating an affine fit.
-//
-// Endpoints:
-//
-//	POST /v1/estimate   single scenario, a bare scenario array, or an
-//	                    envelope {registry, scenarios:[...]}
-//	GET  /v1/registry   the registered expression sets
-//
-// Batched scenarios fan out across a bounded worker pool (the
-// calibration-pool pattern), and cold calibrated batches bulk-calibrate
-// their (machine, op, algorithm) triples first, so a request never
-// serializes behind one triple's first fit.
 package serve
 
 import (
@@ -55,10 +35,18 @@ type Bound struct {
 	RelMax    float64 `json:"rel_max"`
 	// BasisM is the validated message length the bound comes from —
 	// equal to the request's m when the validation grid contained it,
-	// otherwise the nearest validated length on a log scale.
+	// otherwise the nearest validated length on a log scale. For
+	// piecewise expression sets the lookup is confined to the protocol
+	// segment that produced the answer, so a bound is never borrowed
+	// across a regime boundary.
 	BasisM int `json:"basis_m"`
 	// Points is how many validated scenarios the cell pooled.
 	Points int `json:"points"`
+	// SegmentMMin/SegmentMMax delimit the fitted message-length segment
+	// that answered a piecewise estimate; both are absent on single-
+	// segment (affine) answers.
+	SegmentMMin int `json:"segment_m_min,omitempty"`
+	SegmentMMax int `json:"segment_m_max,omitempty"`
 }
 
 // Answer is one scenario's response.
@@ -342,6 +330,28 @@ func (s *Server) answer(entry *estimate.Entry, rs resolved) Answer {
 	}
 	est := entry.Backend.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
 	a := Answer{Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend}
+	// Piecewise fits answer from one protocol segment; the expected
+	// error must come from validated lengths of that same segment, and
+	// the answer says which segment served it. Affine entries skip the
+	// per-answer expression lookup entirely — it is hot-path work that
+	// could only rediscover there are no segments.
+	if cal, isCal := entry.Backend.(*estimate.Calibrated); isCal && cal.Fit.Piecewise {
+		if seg, isSeg := cal.Expression(rs.mach, rs.op, rs.alg).SegmentFor(rs.m); isSeg {
+			if cell, ok := entry.Bounds.BoundIn(rs.mach.Name(), rs.op, rs.m, seg.MMin, seg.MMax); ok {
+				a.ExpectedError = &Bound{
+					RelMedian: cell.Median, RelMax: cell.Max,
+					BasisM: cell.M, Points: cell.Points,
+				}
+				// BoundIn falls back to a cross-regime neighbor when the
+				// validation grid has no cell inside the segment; only an
+				// in-segment basis may claim the segment-scoped contract.
+				if cell.M >= seg.MMin && cell.M <= seg.MMax {
+					a.ExpectedError.SegmentMMin, a.ExpectedError.SegmentMMax = seg.MMin, seg.MMax
+				}
+			}
+			return a
+		}
+	}
 	if cell, ok := entry.Bounds.Bound(rs.mach.Name(), rs.op, rs.m); ok {
 		a.ExpectedError = &Bound{
 			RelMedian: cell.Median, RelMax: cell.Max,

@@ -125,6 +125,40 @@ func TestBoundUsesNearestValidatedLength(t *testing.T) {
 	}
 }
 
+// TestSparseBoundsDropSegmentClaim: when the validation grid has no
+// cell inside the serving segment, BoundIn borrows the nearest cell
+// from another regime — the answer must then carry the bound WITHOUT
+// segment_m_min/segment_m_max, never a basis_m that contradicts the
+// segment it claims to be scoped to.
+func TestSparseBoundsDropSegmentClaim(t *testing.T) {
+	memo := estimate.NewSampleMemo()
+	reg := estimate.StandardRegistry(estimate.RegistryConfig{Memo: memo})
+	entry, err := reg.Get("refit-piecewise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately sparse validation: only the longest length.
+	entry.Bounds = &estimate.ErrorTable{
+		Backend: entry.Backend.Name(), Provenance: entry.Backend.Provenance(),
+		Cells: []estimate.ErrorCell{
+			{Machine: "T3D", Op: machine.OpBroadcast, M: 65536, Median: 0.002, Max: 0.004, Points: 4},
+		},
+	}
+	s := &Server{Registry: reg, Default: "refit-piecewise", Sim: estimate.Sim{Memo: memo}}
+	resp := decode(t, post(t, s, `{"machine":"T3D","op":"broadcast","p":8,"m":16}`, ""))
+	a := resp.Answers[0]
+	if a.Fallback || a.ExpectedError == nil {
+		t.Fatalf("answer %+v", a)
+	}
+	b := a.ExpectedError
+	if b.BasisM != 65536 {
+		t.Fatalf("basis_m %d, want the only validated cell 65536", b.BasisM)
+	}
+	if b.SegmentMMin != 0 || b.SegmentMMax != 0 {
+		t.Fatalf("cross-regime bound must not claim segment scope: %+v", b)
+	}
+}
+
 func TestBatchArrayAndRegistrySelection(t *testing.T) {
 	s := testServer(t)
 	body := `[{"machine":"T3D","op":"broadcast","p":8,"m":16},

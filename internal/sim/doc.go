@@ -1,0 +1,39 @@
+// Package sim provides the deterministic discrete-event simulation
+// kernel every machine model in this repository runs on.
+//
+// # Execution model
+//
+// The Kernel owns a virtual clock and an event queue and advances time
+// by executing events in (time, sequence) order. Simulated activity is
+// written either as plain event callbacks or as blocking processes
+// (Proc) — each process is a goroutine resumed and parked under a
+// strict one-runner handshake, so execution is sequential and fully
+// deterministic whatever the host scheduler does.
+//
+// Internally the kernel uses direct-switch scheduling: exactly one
+// goroutine — the Run caller or one simulated process — holds the
+// execution token at any time, and whoever holds it drains the event
+// queue. Callback events run inline on the token holder; a process
+// wakeup hands the token straight to that process's goroutine, so a
+// process switch costs a single channel synchronization and a process
+// whose own wakeup is the next event keeps running with no switch at
+// all. Events live by value in a slot-recycled 4-ary index heap, so
+// the steady state allocates nothing.
+//
+// # Coordination primitives
+//
+// Future is a single-assignment value processes can wait on; Resource
+// is a counted semaphore with deterministic FIFO grants; Mailbox is a
+// typed rendezvous channel between processes. All are built on the
+// kernel's wakeup primitive and preserve determinism.
+//
+// # Reuse
+//
+// Kernel.Reset rewinds the clock and clears the queue without
+// releasing the process goroutines' stacks, so measurement harnesses
+// (internal/measure) reuse one kernel — and one machine.Cluster —
+// across benchmark repetitions instead of rebuilding the world; see
+// also machine.Cluster.Reset. Determinism is enforced by the
+// repository-root determinism tests, which byte-compare sweep reports
+// and calibrated fits against committed goldens.
+package sim

@@ -1,10 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// The kernel advances a virtual clock by executing events in
-// (time, sequence) order. Simulated activities may be written either as
-// plain event callbacks or as blocking processes (Proc), each backed by a
-// goroutine that is resumed and parked under a strict one-runner
-// handshake, so execution is sequential and fully deterministic.
 package sim
 
 import "fmt"

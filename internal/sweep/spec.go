@@ -1,16 +1,3 @@
-// Package sweep is the scenario-sweep engine of the reproduction: it
-// expands a declarative experiment grid — machine preset × collective
-// operation × algorithm variant × message length × machine size ×
-// measurement methodology — into concrete scenarios, fans them out
-// across CPU cores (one independent simulation per scenario), caches
-// results under a content key derived from the scenario and the
-// machine's calibration constants, and aggregates the outcome into
-// decision tables and reports.
-//
-// The paper's own evaluation is exactly such a grid (three machines ×
-// seven operations × factor-of-four message lengths × power-of-two
-// machine sizes); cmd/experiments, cmd/collbench, and cmd/sweep all
-// drive this engine rather than carrying private grid loops.
 package sweep
 
 import (

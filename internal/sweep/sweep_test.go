@@ -340,6 +340,47 @@ func TestRunnerCacheDoesNotCrossContaminateBackends(t *testing.T) {
 	}
 }
 
+// TestCachePiecewiseExpressionRoundTrip: a segmented fit survives the
+// on-disk *.expr.json envelope segment for segment — the persistence
+// path the refit-piecewise registry entry rides.
+func TestCachePiecewiseExpressionRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fit.Expression{
+		Startup: fit.Form{Kind: fit.Log, A: 55, B: 30},
+		PerByte: fit.Form{Kind: fit.Linear, A: 0.014, B: 0.053},
+		Segments: []fit.Segment{
+			{MMin: 4, MMax: 1024,
+				Startup: fit.Form{Kind: fit.Log, A: 54, B: 31},
+				PerByte: fit.Form{Kind: fit.Linear, A: 0.002, B: 0.01}},
+			{MMin: 1024, MMax: 65536,
+				Startup: fit.Form{Kind: fit.Log, A: 80, B: 120},
+				PerByte: fit.Form{Kind: fit.Linear, A: 0.016, B: -0.004}},
+		},
+	}
+	if err := cache.PutExpression("cafe", "T3D/broadcast piecewise", e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.GetExpression("cafe")
+	if !ok || !reflect.DeepEqual(got, e) {
+		t.Fatalf("piecewise expression drifted through the cache:\n  put %+v\n  got %+v", e, got)
+	}
+	if !got.IsPiecewise() {
+		t.Fatal("segments lost in persistence")
+	}
+	// An affine expression must come back with no segments at all (nil,
+	// not empty), keeping pre-piecewise JSON byte-compatible.
+	affine := fit.Expression{Startup: fit.Form{Kind: fit.Linear, A: 24, B: 90}}
+	if err := cache.PutExpression("beef", "affine", affine); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cache.GetExpression("beef"); got.Segments != nil {
+		t.Fatalf("affine expression grew segments: %+v", got)
+	}
+}
+
 func TestCacheExpressionRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	cache, err := OpenCache(dir)
@@ -353,7 +394,7 @@ func TestCacheExpressionRoundTrip(t *testing.T) {
 	if err := cache.PutExpression("feedbead", "SP2/broadcast", e); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := cache.GetExpression("feedbead"); !ok || got != e {
+	if got, ok := cache.GetExpression("feedbead"); !ok || !reflect.DeepEqual(got, e) {
 		t.Fatalf("GetExpression = %+v, %v; want stored expression", got, ok)
 	}
 	// Expressions and samples live in separate namespaces: a sample

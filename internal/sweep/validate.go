@@ -62,6 +62,27 @@ func RelErrors(pairs []Paired) []float64 {
 	return out
 }
 
+// MidLengthMin and MidLengthMax delimit the mid-length message window
+// (bytes) the validation report summarizes separately: the regime where
+// real message-passing layers switch protocols and the affine model
+// carries its worst error.
+const (
+	MidLengthMin = 256
+	MidLengthMax = 4096
+)
+
+// midLengthErrors extracts the relative errors of the scenarios inside
+// the mid-length window.
+func midLengthErrors(pairs []Paired) []float64 {
+	var out []float64
+	for _, p := range pairs {
+		if p.Scenario.M >= MidLengthMin && p.Scenario.M <= MidLengthMax {
+			out = append(out, p.RelError())
+		}
+	}
+	return out
+}
+
 // ValidationTiming carries the wall-clock context of a validation run;
 // zero fields are omitted from the report. RefCached/EstCached count
 // cache-served scenarios in each pass — when nonzero the pass was not
@@ -108,6 +129,21 @@ func WriteValidation(w io.Writer, title string, pairs []Paired, timing *Validati
 		len(errs), 100*stats.Median(errs), 100*mean(errs),
 		100*stats.Percentile(errs, 95), 100*maxOf(errs))
 	p("")
+
+	// The mid-length window is where message-passing layers switch
+	// protocols (eager vs. rendezvous-style handoff) and where the
+	// affine model is weakest; report it separately so a fit family's
+	// worst regime is visible next to the flattering grid median.
+	if mid := midLengthErrors(pairs); len(mid) > 0 {
+		p("## Mid-length error (m ∈ [%d, %d])", MidLengthMin, MidLengthMax)
+		p("")
+		p("| points | median | mean | p95 | max |")
+		p("|---|---|---|---|---|")
+		p("| %d | %.2f%% | %.2f%% | %.2f%% | %.2f%% |",
+			len(mid), 100*stats.Median(mid), 100*mean(mid),
+			100*stats.Percentile(mid, 95), 100*maxOf(mid))
+		p("")
+	}
 
 	if timing != nil {
 		p("## Speed")

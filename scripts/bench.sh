@@ -21,6 +21,10 @@ out=$(go test -run '^$' \
 out+=$'\n'
 out+=$(go test -run '^$' -bench 'BenchmarkKernelEvents' .)
 out+=$'\n'
+# Warm piecewise vs affine serving: BENCH.md tracks that the segmented
+# fits stay within 10% of affine throughput.
+out+=$(go test -run '^$' -bench 'BenchmarkPiecewiseServing' .)
+out+=$'\n'
 out+=$(go test -run '^$' -bench 'BenchmarkServeThroughput' ./internal/serve)
 
 record=$(

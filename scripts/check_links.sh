@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check_links.sh — verify that relative markdown links in the tracked
+# docs point at files that exist in the repository. External links
+# (http/https/mailto) and pure #anchors are skipped so the check stays
+# hermetic; CI gates on it.
+#
+#   scripts/check_links.sh            # exits non-zero on a broken link
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+shopt -s nullglob
+files=(README.md ROADMAP.md BENCH.md CHANGES.md PAPER.md PAPERS.md SNIPPETS.md ISSUE.md docs/*.md)
+for f in "${files[@]}"; do
+	[ -f "$f" ] || continue
+	while IFS= read -r target; do
+		case "$target" in
+		http://* | https://* | mailto:* | \#*) continue ;;
+		esac
+		path="${target%%#*}"
+		[ -n "$path" ] || continue
+		# Resolve like a markdown renderer does: relative to the file
+		# containing the link, never the repo root.
+		base="$(dirname "$f")"
+		if [ ! -e "$base/$path" ]; then
+			echo "check_links: $f: broken link -> $target" >&2
+			fail=1
+		fi
+	done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "check_links: all relative links resolve" >&2
