@@ -16,10 +16,17 @@
 //	curl -s -d '[{"machine":"T3D","op":"broadcast","p":8,"m":256},
 //	             {"machine":"Paragon","op":"scatter","p":32,"m":65536}]' \
 //	     'localhost:8080/v1/estimate?registry=refit-default'
+//	curl -s localhost:8080/metrics
 //
 // Without a cache the service still answers everything; calibrations
 // run on first touch (or at startup with -warm) and answers simply
 // carry no expected-error bound until a validation table exists.
+//
+// Observability: GET /metrics exposes Prometheus-format counters and
+// stage-latency histograms, GET /debug/vars the same registry as
+// expvar-style JSON; -log-level debug adds one structured access-log
+// line per request, and -pprof-addr starts an opt-in net/http/pprof
+// listener on a separate address.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux; exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,7 +43,9 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -45,22 +55,43 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cache", "", "sweep cache directory (persisted fits and error tables)")
-		registry = flag.String("registry", "refit-default", "registry entry served when a request names none")
-		workers  = flag.Int("workers", 0, "per-request estimation workers (0 = all cores)")
-		warm     = flag.Bool("warm", false, "precalibrate the default registry's triples before listening")
-		quiet    = flag.Bool("quiet", false, "suppress startup logging")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cache", "", "sweep cache directory (persisted fits and error tables)")
+		registry  = flag.String("registry", "refit-default", "registry entry served when a request names none")
+		workers   = flag.Int("workers", 0, "per-request estimation workers (0 = all cores)")
+		warm      = flag.Bool("warm", false, "precalibrate the default registry's triples before listening")
+		quiet     = flag.Bool("quiet", false, "suppress startup logging")
+		logLevel  = flag.String("log-level", "info", "structured log level (debug adds per-request access logs)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (off when empty)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 2
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	cache, err := sweep.OpenCache(*cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}
+
+	// One metric registry spans every layer: the serve counters, the
+	// estimation layer's memo/expression series, and the sim kernel's
+	// process-wide event totals (read at export time via CounterFunc).
+	obsReg := obs.NewRegistry()
+	metrics := serve.NewMetrics(obsReg)
+	sim.EnableCounters(true)
+	obsReg.CounterFunc("sim_kernel_events_total",
+		"discrete events executed by simulation kernels, process-wide", sim.KernelEvents)
+	obsReg.CounterFunc("sim_kernel_wakeups_total",
+		"process wakeups scheduled by simulation kernels, process-wide", sim.KernelWakeups)
+
 	memo := estimate.NewSampleMemo()
-	cfg := estimate.RegistryConfig{Memo: memo, Workers: *workers}
+	cfg := estimate.RegistryConfig{Memo: memo, Workers: *workers, Obs: obsReg}
 	if cache != nil {
 		cfg.Store = cache
 	}
@@ -83,6 +114,19 @@ func run() int {
 		Default:  *registry,
 		Sim:      estimate.Sim{Memo: memo},
 		Workers:  *workers,
+		Obs:      metrics,
+		Logger:   logger,
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// nil handler = DefaultServeMux, where net/http/pprof lives.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: pprof:", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "serve: pprof on %s\n", *pprofAddr)
+		}
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -113,6 +157,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 		return 1
 	}
+	requests, scenarios, fallbacks := metrics.Totals()
+	logger.Info("drained",
+		obs.F("requests", requests),
+		obs.F("scenarios", scenarios),
+		obs.F("fallbacks", fallbacks))
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "serve: drained, bye")
 	}

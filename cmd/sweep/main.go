@@ -42,6 +42,8 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -75,8 +77,14 @@ func run() int {
 		maxSeg     = flag.Int("max-segments", 0, "piecewise fit: maximum number of affine segments (0 = no cap beyond detected regime boundaries)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep here")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the sweep) here")
+		obsF       = flag.Bool("obs", false, "collect run metrics (cache outcomes, phase timings, memo and kernel counters) and print the snapshot to stderr afterwards")
 	)
 	flag.Parse()
+
+	var obsReg *obs.Registry
+	if *obsF {
+		obsReg = newObsRegistry()
+	}
 
 	cfg := measure.Fast()
 	if *paperCfg {
@@ -158,13 +166,19 @@ func run() int {
 	fitCfg := estimate.FitConfig{Piecewise: *piecewise, MaxSegments: *maxSeg, RelTol: *tolF}
 
 	if *validate {
-		return runValidate(scns, spec, *backendF, planner, fitCfg, cache, *workers, *outPath, *csvPath, *quiet)
+		code := runValidate(scns, spec, *backendF, planner, fitCfg, cache, *workers, *outPath, *csvPath, *quiet, obsReg)
+		dumpObs(obsReg)
+		return code
 	}
 
-	backend, err := buildBackend(*backendF, spec, cfg, planner, fitCfg, cache, estimate.NewSampleMemo(), *workers)
+	memo := estimate.NewSampleMemo()
+	backend, err := buildBackend(*backendF, spec, cfg, planner, fitCfg, cache, memo, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		return 2
+	}
+	if obsReg != nil {
+		instrumentBackend(obsReg, memo, backend)
 	}
 	if err := checkAnalyticCoverage(backend, scns); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -172,7 +186,7 @@ func run() int {
 	}
 
 	start := time.Now()
-	runner := &sweep.Runner{Workers: *workers, Cache: cache, Backend: backend}
+	runner := &sweep.Runner{Workers: *workers, Cache: cache, Backend: backend, Metrics: newSweepMetrics(obsReg)}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d scenarios via the %s backend\n", len(scns), backend.Name())
 		runner.OnProgress = progressPrinter(len(scns), start)
@@ -204,14 +218,58 @@ func run() int {
 			return 1
 		}
 	}
+	dumpObs(obsReg)
 	return 0
+}
+
+// newObsRegistry assembles the -obs metric registry: the sweep and
+// estimation series register themselves as they are wired; the sim
+// kernel's process-wide totals are read at export time.
+func newObsRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	sim.EnableCounters(true)
+	reg.CounterFunc("sim_kernel_events_total",
+		"discrete events executed by simulation kernels, process-wide", sim.KernelEvents)
+	reg.CounterFunc("sim_kernel_wakeups_total",
+		"process wakeups scheduled by simulation kernels, process-wide", sim.KernelWakeups)
+	return reg
+}
+
+// newSweepMetrics registers the runner series, or nothing without -obs.
+func newSweepMetrics(reg *obs.Registry) *sweep.Metrics {
+	if reg == nil {
+		return nil
+	}
+	return sweep.NewMetrics(reg)
+}
+
+// instrumentBackend wires the estimation-layer series: the memo always,
+// the expression-store counters when the backend calibrates.
+func instrumentBackend(reg *obs.Registry, memo *estimate.SampleMemo, b estimate.Backend) {
+	if c, ok := b.(*estimate.Calibrated); ok {
+		estimate.Instrument(reg, memo, c)
+		return
+	}
+	estimate.Instrument(reg, memo)
+}
+
+// dumpObs prints the -obs snapshot in the Prometheus text format; a nil
+// registry (no -obs) prints nothing.
+func dumpObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "sweep: metrics snapshot:")
+	if err := reg.WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+	}
 }
 
 // runValidate executes the grid under sim and a closed-form backend and
 // emits the relative-error validation report (plus, with -csv, the
 // per-scenario rows of both passes, distinguished by the backend
 // column). It returns the process exit code.
-func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, planner estimate.Planner, fitCfg estimate.FitConfig, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool) int {
+func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, planner estimate.Planner, fitCfg estimate.FitConfig, cache *sweep.Cache, workers int, outPath, csvPath string, quiet bool, obsReg *obs.Registry) int {
 	if backendName == "sim" || backendName == "" {
 		backendName = "calibrated" // validating sim against itself is vacuous
 	}
@@ -228,6 +286,10 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, pla
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		return 2
 	}
+	if obsReg != nil {
+		instrumentBackend(obsReg, memo, candidate)
+	}
+	metrics := newSweepMetrics(obsReg)
 
 	progress := func(string) func(sweep.Progress) { return nil }
 	if !quiet {
@@ -239,18 +301,18 @@ func runValidate(scns []sweep.Scenario, spec sweep.Spec, backendName string, pla
 
 	simStart := time.Now()
 	simResults := (&sweep.Runner{Workers: workers, Cache: cache, Backend: estimate.Sim{Memo: memo},
-		OnProgress: progress("sim")}).Run(scns)
+		OnProgress: progress("sim"), Metrics: metrics}).Run(scns)
 	simSecs := time.Since(simStart).Seconds()
 
 	estStart := time.Now()
 	estResults := (&sweep.Runner{Workers: workers, Cache: cache, Backend: candidate,
-		OnProgress: progress(candidate.Name())}).Run(scns)
+		OnProgress: progress(candidate.Name()), Metrics: metrics}).Run(scns)
 	estSecs := time.Since(estStart).Seconds()
 
 	// A second pass with the calibration already in memory is the
 	// serving-speed number the calibrated backend exists for.
 	warmStart := time.Now()
-	(&sweep.Runner{Workers: workers, Backend: candidate}).Run(scns)
+	(&sweep.Runner{Workers: workers, Backend: candidate, Metrics: metrics}).Run(scns)
 	warmSecs := time.Since(warmStart).Seconds()
 
 	pairs, err := sweep.Pair(simResults, estResults)

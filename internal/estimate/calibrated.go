@@ -12,6 +12,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/paper"
 )
 
@@ -194,6 +195,10 @@ type Calibrated struct {
 	// Workers bounds Precalibrate's default pool; ≤ 0 means
 	// runtime.GOMAXPROCS.
 	Workers int
+	// StoreHits and Refits count calibrations served from the expression
+	// store vs fitted fresh (obs wiring; nil = uncounted). Set them
+	// before the first Estimate call, like every other field.
+	StoreHits, Refits *obs.Counter
 
 	mu  sync.Mutex
 	cal map[calTriple]*calEntry
@@ -381,6 +386,7 @@ func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string)
 	if c.Store != nil {
 		key = expressionKey(mach, op, alg, sizes, lengths, cfg, c.planner(), c.Fit.normalized())
 		if e, ok := c.Store.GetExpression(key); ok {
+			c.StoreHits.Inc()
 			return e
 		}
 	}
@@ -400,6 +406,7 @@ func (c *Calibrated) calibrate(mach *machine.Machine, op machine.Op, alg string)
 		d := c.Memo.Dataset(mach, op, algs, sizes, lengths, cfg)
 		e = fit.TwoStage(d, startupShape, perByteShape)
 	}
+	c.Refits.Inc()
 	if c.Store != nil {
 		id := fmt.Sprintf("%s/%s[%s] calibration", mach.Name(), op, alg)
 		_ = c.Store.PutExpression(key, id, e) // best-effort, like sample caching

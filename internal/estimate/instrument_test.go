@@ -1,0 +1,92 @@
+package estimate
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// counterValue re-registers a series (registration is idempotent) and
+// reads its current total.
+func counterValue(reg *obs.Registry, name, key, value string) uint64 {
+	return reg.Counter(name, "", obs.Label{Key: key, Value: value}).Value()
+}
+
+// TestInstrumentCountsMemoAndExpressions wires the estimation metrics
+// and checks the exact counts of one calibration: every grid cell is a
+// memo miss, the fresh fit is one refit, and a second backend sharing
+// the store serves the same triple as one store hit with no new refit.
+func TestInstrumentCountsMemoAndExpressions(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := &countingStore{}
+	memo := NewSampleMemo()
+	cal := &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 256}, Memo: memo, Store: store}
+	Instrument(reg, memo, cal)
+
+	mach := machine.T3D()
+	algs := mpi.DefaultAlgorithms(mach)
+	cal.Estimate(mach, machine.OpBroadcast, algs, 4, 256, tinyCfg)
+
+	if got := counterValue(reg, "estimate_memo_total", "result", "miss"); got != 4 {
+		t.Fatalf("memo misses %d, want one per 2×2 grid cell", got)
+	}
+	if got := counterValue(reg, "estimate_memo_total", "result", "hit"); got != 0 {
+		t.Fatalf("memo hits %d on a cold calibration", got)
+	}
+	if got := counterValue(reg, "estimate_expressions_total", "source", "refit"); got != 1 {
+		t.Fatalf("refits %d, want 1", got)
+	}
+
+	// A second estimate of the same triple reuses the in-memory fit:
+	// nothing new is measured or calibrated.
+	cal.Estimate(mach, machine.OpBroadcast, algs, 2, 4, tinyCfg)
+	if got := counterValue(reg, "estimate_memo_total", "result", "miss"); got != 4 {
+		t.Fatalf("memo misses %d after a warm estimate, want 4", got)
+	}
+	if got := counterValue(reg, "estimate_expressions_total", "source", "refit"); got != 1 {
+		t.Fatalf("refits %d after a warm estimate, want 1", got)
+	}
+
+	// A fresh backend sharing the store loads the fit instead of
+	// re-measuring — one store hit, still one refit.
+	cal2 := &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 256}, Store: store}
+	Instrument(reg, nil, cal2)
+	cal2.Estimate(mach, machine.OpBroadcast, algs, 4, 256, tinyCfg)
+	if got := counterValue(reg, "estimate_expressions_total", "source", "store"); got != 1 {
+		t.Fatalf("store hits %d, want 1", got)
+	}
+	if got := counterValue(reg, "estimate_expressions_total", "source", "refit"); got != 1 {
+		t.Fatalf("refits %d after a store hit, want 1", got)
+	}
+}
+
+// TestMemoCountersConcurrentExact races identical measurements and
+// requires exactly one miss — the in-flight waiters all count as hits.
+// The race gate runs this with -race.
+func TestMemoCountersConcurrentExact(t *testing.T) {
+	reg := obs.NewRegistry()
+	memo := NewSampleMemo()
+	Instrument(reg, memo)
+
+	mach := machine.T3D()
+	algs := mpi.DefaultAlgorithms(mach)
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			memo.Measure(mach, machine.OpBroadcast, algs, 4, 64, tinyCfg)
+		}()
+	}
+	wg.Wait()
+
+	hits := counterValue(reg, "estimate_memo_total", "result", "hit")
+	misses := counterValue(reg, "estimate_memo_total", "result", "miss")
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("hits %d misses %d, want %d and 1", hits, misses, callers-1)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // SampleMemo is an in-process, concurrency-safe memo of simulator
@@ -28,6 +29,11 @@ type SampleMemo struct {
 	mu      sync.Mutex
 	entries map[sampleKey]*sampleEntry
 	prints  map[*machine.Machine]string // fingerprint cache
+
+	// hits/misses count lookups (obs wiring; nil = uncounted). A miss is
+	// a request that created the entry — one per distinct simulation; a
+	// hit was served without simulating, including in-flight waiters.
+	hits, misses *obs.Counter
 }
 
 type sampleKey struct {
@@ -49,6 +55,15 @@ func NewSampleMemo() *SampleMemo {
 		entries: map[sampleKey]*sampleEntry{},
 		prints:  map[*machine.Machine]string{},
 	}
+}
+
+// Instrument attaches hit/miss counters to the memo. Call before the
+// memo sees concurrent use; either counter may be nil.
+func (mo *SampleMemo) Instrument(hits, misses *obs.Counter) {
+	if mo == nil {
+		return
+	}
+	mo.hits, mo.misses = hits, misses
 }
 
 // Len returns the number of distinct measurements memoized.
@@ -82,6 +97,11 @@ func (mo *SampleMemo) Measure(mach *machine.Machine, op machine.Op, algs mpi.Alg
 		mo.entries[key] = e
 	}
 	mo.mu.Unlock()
+	if ok {
+		mo.hits.Inc()
+	} else {
+		mo.misses.Inc()
+	}
 	e.once.Do(func() {
 		e.sample = measure.MeasureOpWith(mach, op, p, m, cfg, algs)
 	})

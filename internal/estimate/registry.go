@@ -9,6 +9,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/paper"
 )
 
@@ -186,6 +187,10 @@ type RegistryConfig struct {
 	Lengths []int
 	// Config is the calibration methodology; zero means measure.Fast().
 	Config measure.Config
+	// Obs, when non-nil, registers the estimation-layer metrics
+	// (estimate_memo_total, estimate_expressions_total) and wires them
+	// into Memo and the refit entries' backends — see Instrument.
+	Obs *obs.Registry
 }
 
 // DefaultCalibrationSizes is the default sweep grid's machine sizes —
@@ -221,6 +226,9 @@ func StandardRegistry(cfg RegistryConfig) *Registry {
 	full := newCalibrated(Planner{}, FitConfig{})
 	adaptive := newCalibrated(Planner{Adaptive: true}, FitConfig{})
 	piecewise := newCalibrated(Planner{}, FitConfig{Piecewise: true})
+	if cfg.Obs != nil {
+		Instrument(cfg.Obs, cfg.Memo, full, adaptive, piecewise)
+	}
 	for _, e := range []*Entry{
 		{
 			Name:        "paper-table3",
@@ -252,6 +260,37 @@ func StandardRegistry(cfg RegistryConfig) *Registry {
 		}
 	}
 	return r
+}
+
+// Instrument registers the estimation-layer metric series on reg and
+// wires them into memo (when non-nil) and the given calibrated
+// backends: estimate_memo_total{result="hit"|"miss"} counts sample-memo
+// lookups (a miss is one distinct simulation), and
+// estimate_expressions_total{source="store"|"refit"} counts
+// calibrations loaded from the expression store vs fitted fresh. The
+// series are shared across backends — the registry dedups by
+// name+label — so wiring several backends aggregates their traffic.
+func Instrument(reg *obs.Registry, memo *SampleMemo, cals ...*Calibrated) {
+	memo.Instrument(
+		reg.Counter("estimate_memo_total",
+			"sample-memo lookups by result (a miss runs one distinct simulation)",
+			obs.Label{Key: "result", Value: "hit"}),
+		reg.Counter("estimate_memo_total",
+			"sample-memo lookups by result (a miss runs one distinct simulation)",
+			obs.Label{Key: "result", Value: "miss"}),
+	)
+	if len(cals) == 0 {
+		return
+	}
+	store := reg.Counter("estimate_expressions_total",
+		"triple calibrations by source: loaded from the expression store vs refit",
+		obs.Label{Key: "source", Value: "store"})
+	refit := reg.Counter("estimate_expressions_total",
+		"triple calibrations by source: loaded from the expression store vs refit",
+		obs.Label{Key: "source", Value: "refit"})
+	for _, c := range cals {
+		c.StoreHits, c.Refits = store, refit
+	}
 }
 
 // analyticRanges bounds a fixed expression set by the paper's own

@@ -1,0 +1,31 @@
+// Package obs is the observability core: allocation-lean metrics
+// (atomic counters, gauges, log₂-bucketed latency histograms), a
+// registry that snapshots without locks on the hot path, per-request
+// trace spans, and a structured JSON logger.
+//
+// The package has no dependencies beyond the standard library and sits
+// below every instrumented layer: serve counts requests and stage
+// latencies, estimate counts memo and expression-store traffic, sweep
+// counts cache hits and phase timings, and sim exports kernel
+// event/wakeup totals. Metric handles (*Counter, *Gauge, *Histogram)
+// are obtained once at setup through Registry and then updated with
+// single atomic operations — the registry's mutex guards registration
+// only, never a read or an update, so the serving hot path is
+// lock-free. All handle methods are nil-receiver safe no-ops, so
+// un-instrumented configurations pay one branch per update site.
+//
+// Export formats:
+//
+//   - Registry.WritePrometheus emits the Prometheus text format
+//     (counters, gauges, and cumulative histogram buckets), no
+//     dependency required — GET /metrics in internal/serve.
+//   - Registry.Snapshot returns a flat name→value map for JSON
+//     surfaces — GET /debug/vars in internal/serve, the shutdown
+//     snapshot in cmd/serve, and `cmd/sweep -obs`.
+//
+// Trace records the per-stage breakdown of one request (decode →
+// resolve → calibrate → estimate → bounds → encode) with atomic adds,
+// so concurrent scenario workers can charge their shares of a batch.
+// Logger writes one JSON object per line with ordered fields; access
+// logs attach the trace's span timings at debug level.
+package obs

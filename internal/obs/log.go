@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Debug is below Info, so a Logger at Info
+// drops the per-request access logs but keeps lifecycle messages.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's JSON value.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel resolves "debug", "info", "warn", or "error".
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Field is one key/value of a structured log line. Fields keep their
+// call-site order in the output, unlike a marshaled map.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger writes one JSON object per line:
+//
+//	{"ts":"2026-08-07T10:00:00.000000Z","level":"info","msg":"…",…}
+//
+// Lines are written atomically under a mutex, so concurrent request
+// handlers never interleave. A nil *Logger drops everything, and
+// Enabled lets hot paths skip assembling fields entirely.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+
+	// now stamps the ts field; nil means time.Now. Tests pin it for
+	// byte-stable lines.
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// WithClock pins the timestamp source (tests) and returns the logger.
+func (l *Logger) WithClock(now func() time.Time) *Logger {
+	l.now = now
+	return l
+}
+
+// Enabled reports whether lvl would be written — the guard that keeps
+// disabled access logging at one branch per request.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && lvl >= l.min
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.Log(LevelDebug, msg, fields...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.Log(LevelInfo, msg, fields...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.Log(LevelError, msg, fields...) }
+
+// Log writes one line at lvl with the fields in order.
+func (l *Logger) Log(lvl Level, msg string, fields ...Field) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":`...)
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	buf = strconv.AppendQuote(buf, now().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":"`...)
+	buf = append(buf, lvl.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = strconv.AppendQuote(buf, msg)
+	for _, f := range fields {
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, f.Key)
+		buf = append(buf, ':')
+		if v, err := json.Marshal(f.Value); err == nil {
+			buf = append(buf, v...)
+		} else {
+			buf = strconv.AppendQuote(buf, fmt.Sprint(f.Value))
+		}
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}

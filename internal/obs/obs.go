@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil *Counter is a valid no-op, so instrumented code
+// needs no "is observability on?" branches of its own.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways (in-flight
+// requests, pool sizes). A nil *Gauge is a valid no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numHistBuckets is one bucket per uint64 bit length: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. v ∈ [2^(i−1), 2^i − 1]
+// (bucket 0 holds exactly v = 0).
+const numHistBuckets = 65
+
+// Histogram is a log₂-bucketed histogram of non-negative integer
+// observations (typically nanosecond durations or batch sizes). An
+// observation is two atomic adds — no locks, no allocation; the
+// observation count is derived from the buckets at read time, keeping
+// the write path minimal. A nil *Histogram is a valid no-op.
+//
+// Readers (snapshot, Prometheus export) see each bucket atomically but
+// not the set of buckets as one transaction; totals can be transiently
+// off by in-flight observations, which is fine for monitoring.
+type Histogram struct {
+	sum     atomic.Uint64
+	buckets [numHistBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds; negative durations
+// clamp to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations (summed over the buckets).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// bucketBound is bucket i's inclusive upper bound: 0, 1, 3, 7, …,
+// 2^i − 1 (the last bucket tops out at the uint64 maximum).
+func bucketBound(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Label is one metric dimension, rendered Prometheus-style:
+// name{key="value"}.
+type Label struct{ Key, Value string }
+
+// kind is a metric family's type.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family. Exactly one of the
+// value fields is set, matching the family's kind; fn, when non-nil,
+// overrides counter/gauge reads at export time (CounterFunc).
+type series struct {
+	labels []Label
+	key    string // rendered labels, the family's dedup key
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() uint64
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series
+}
+
+// Registry is a named collection of metrics. Registration
+// (Counter/Gauge/Histogram/CounterFunc) takes a mutex and is meant for
+// setup time; the returned handles are then updated lock-free, and
+// exports only read atomics. Registering the same name+labels twice
+// returns the same handle, so wiring code can be idempotent.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or finds) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = &Histogram{}
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at export
+// time — for totals owned elsewhere (e.g. the sim kernel's process-wide
+// event counters). Re-registering replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.register(name, help, kindCounter, labels)
+	s.fn = fn
+}
+
+// register finds or creates the series for name+labels, panicking on a
+// kind collision — that is a wiring bug, not a runtime condition.
+func (r *Registry) register(name, help string, k kind, labels []Label) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, k))
+	}
+	for _, s := range f.series {
+		if s.key == key {
+			return s
+		}
+	}
+	s := &series{labels: append([]Label(nil), labels...), key: key}
+	f.series = append(f.series, s)
+	return s
+}
+
+// sortedFamilies returns the families sorted by name, each with its
+// series sorted by rendered labels — the stable export order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, f := range out {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+	}
+	return out
+}
+
+// renderLabels formats {k="v",…}, empty for no labels. Values are
+// escaped per the Prometheus text format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersConcurrent hammers one counter, gauge, and histogram from
+// many goroutines and requires exact totals — the race gate runs this
+// with -race, so it doubles as the data-race check for the atomics.
+func TestCountersConcurrent(t *testing.T) {
+	const goroutines, per = 16, 10000
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "test counter")
+	g := r.Gauge("hammer_gauge", "test gauge")
+	h := r.Histogram("hammer_hist", "test histogram")
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(uint64(i%7) * 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter %d, want %d", got, goroutines*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge %d, want 0", got)
+	}
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("histogram count %d, want %d", got, goroutines*per)
+	}
+	// Each goroutine observes 0,100,…,600 cyclically: per/7 ≈ 1428 full
+	// cycles plus a deterministic remainder; sum it directly instead.
+	var want uint64
+	for i := 0; i < per; i++ {
+		want += uint64(i%7) * 100
+	}
+	want *= goroutines
+	if got := h.Sum(); got != want {
+		t.Fatalf("histogram sum %d, want %d", got, want)
+	}
+}
+
+// TestRegistryReusesSeries: registering the same name+labels twice must
+// return the same handle (idempotent wiring), different labels a
+// different one, and a kind collision must panic.
+func TestRegistryReusesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Label{Key: "k", Value: "a"})
+	b := r.Counter("x_total", "", Label{Key: "k", Value: "a"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("x_total", "", Label{Key: "k", Value: "b"}); c == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind collision did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestPrometheusOutput pins the text-format layout for a deterministic
+// registry — the shape GET /metrics serves.
+func TestPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests by outcome", Label{Key: "outcome", Value: "ok"}).Add(3)
+	r.Counter("req_total", "requests by outcome", Label{Key: "outcome", Value: "err"}).Add(1)
+	r.Gauge("in_flight", "open requests").Set(2)
+	h := r.Histogram("lat_ns", "latency")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5) // bucket le=7
+	h.Observe(5)
+	r.CounterFunc("fn_total", "function-backed", func() uint64 { return 42 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP fn_total function-backed",
+		"# TYPE fn_total counter",
+		"fn_total 42",
+		"# HELP in_flight open requests",
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"# HELP lat_ns latency",
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="0"} 1`,
+		`lat_ns_bucket{le="1"} 2`,
+		`lat_ns_bucket{le="3"} 2`,
+		`lat_ns_bucket{le="7"} 4`,
+		`lat_ns_bucket{le="+Inf"} 4`,
+		"lat_ns_sum 11",
+		"lat_ns_count 4",
+		"# HELP req_total requests by outcome",
+		"# TYPE req_total counter",
+		`req_total{outcome="err"} 1`,
+		`req_total{outcome="ok"} 3`,
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshot checks the flat map /debug/vars marshals: counters as
+// numbers, histograms as {count, sum, buckets}.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", Label{Key: "k", Value: "v"}).Add(7)
+	h := r.Histogram("b_ns", "")
+	h.Observe(100)
+	snap := r.Snapshot()
+	if got := snap[`a_total{k="v"}`]; got != uint64(7) {
+		t.Fatalf("counter snapshot %v", got)
+	}
+	hs, ok := snap["b_ns"].(HistogramSnapshot)
+	if !ok || hs.Count != 1 || hs.Sum != 100 {
+		t.Fatalf("histogram snapshot %+v", snap["b_ns"])
+	}
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Le != 127 || hs.Buckets[0].N != 1 {
+		t.Fatalf("buckets %+v", hs.Buckets)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+}
+
+// TestNilHandles: every handle method must be a safe no-op on nil, the
+// contract that lets un-instrumented paths skip wiring entirely.
+func TestNilHandles(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Trace
+	var l *Logger
+	c.Inc()
+	c.Add(3)
+	g.Add(1)
+	g.Set(9)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	tr.Add(StageDecode, time.Second)
+	l.Info("dropped")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.NS(StageDecode) != 0 || l.Enabled(LevelError) {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+// TestTraceConcurrent charges one stage from many goroutines — the
+// batch worker-pool pattern — and requires the exact total.
+func TestTraceConcurrent(t *testing.T) {
+	tr := &Trace{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Add(StageEstimate, 3*time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.NS(StageEstimate); got != 8*1000*3 {
+		t.Fatalf("trace ns %d, want %d", got, 8*1000*3)
+	}
+}
+
+// TestLoggerLine pins one log line byte for byte (clock pinned) and
+// checks level filtering.
+func TestLoggerLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(func() time.Time {
+		return time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	})
+	l.Debug("dropped", F("k", 1))
+	l.Info("served", F("status", 200), F("registry", "refit-default"), F("stages", map[string]int64{"decode": 10}))
+	want := `{"ts":"2026-08-07T10:00:00Z","level":"info","msg":"served","status":200,"registry":"refit-default","stages":{"decode":10}}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("log line:\n%q\nwant:\n%q", got, want)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+// TestLoggerConcurrent writes from many goroutines and requires every
+// line to stay intact (no interleaving) — race-gated.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := NewLogger(safe, LevelDebug)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Debug("line", F("w", w), F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("%d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("interleaved line %q: %v", line, err)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus emits every registered metric in the Prometheus text
+// exposition format: # HELP / # TYPE headers, one line per series,
+// histograms as cumulative le-bounded buckets plus _sum and _count.
+// Families are sorted by name and series by labels, so the layout is
+// stable across calls — only the numbers move.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				v := s.counter.Value()
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, v)
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.gauge.Value())
+			case kindHistogram:
+				writePromHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits one histogram series: cumulative buckets up
+// to the highest non-empty one, then +Inf, _sum, and _count.
+func writePromHistogram(w io.Writer, name string, s *series) {
+	h := s.hist
+	top := -1
+	var counts [numHistBuckets]uint64
+	for i := 0; i < numHistBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(s.labels, strconv.FormatUint(bucketBound(i), 10)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(s.labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, s.key, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, h.Count())
+}
+
+// withLe renders the series labels with an le bound appended.
+func withLe(labels []Label, le string) string {
+	with := make([]Label, 0, len(labels)+1)
+	with = append(with, labels...)
+	return renderLabels(append(with, Label{Key: "le", Value: le}))
+}
+
+// HistogramSnapshot is a histogram's value in Registry.Snapshot:
+// totals plus the non-empty buckets (per-bucket counts, not
+// cumulative), each with its inclusive upper bound.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     uint64           `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty log₂ bucket.
+type BucketSnapshot struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Snapshot returns every series as a flat map from "name{labels}" to
+// its current value: uint64 for counters, int64 for gauges,
+// HistogramSnapshot for histograms. The map marshals deterministically
+// (encoding/json sorts map keys), which the /debug/vars surface and
+// the shutdown snapshot rely on.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			name := f.name + s.key
+			switch f.kind {
+			case kindCounter:
+				if s.fn != nil {
+					out[name] = s.fn()
+				} else {
+					out[name] = s.counter.Value()
+				}
+			case kindGauge:
+				out[name] = s.gauge.Value()
+			case kindHistogram:
+				hs := HistogramSnapshot{Count: s.hist.Count(), Sum: s.hist.Sum()}
+				for i := 0; i < numHistBuckets; i++ {
+					if n := s.hist.buckets[i].Load(); n > 0 {
+						hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: bucketBound(i), N: n})
+					}
+				}
+				out[name] = hs
+			}
+		}
+	}
+	return out
+}

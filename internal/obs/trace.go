@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one step of a request's estimate pipeline. The order is the
+// wire order of one request through internal/serve.
+type Stage int
+
+const (
+	// StageDecode is reading and parsing the request body.
+	StageDecode Stage = iota
+	// StageResolve is name resolution, validation, and the per-scenario
+	// fallback decision.
+	StageResolve
+	// StageCalibrate is the batch precalibration of a calibrated entry's
+	// triples.
+	StageCalibrate
+	// StageEstimate is the backend (or fallback-sim) evaluation, summed
+	// across the batch's scenario workers.
+	StageEstimate
+	// StageBounds is the expected-error bound lookup and attachment,
+	// summed across the batch's scenario workers.
+	StageBounds
+	// StageEncode is response encoding and writing.
+	StageEncode
+
+	// NumStages is the number of pipeline stages.
+	NumStages
+)
+
+// String returns the stage's metric label ("decode", "resolve", …).
+func (s Stage) String() string {
+	switch s {
+	case StageDecode:
+		return "decode"
+	case StageResolve:
+		return "resolve"
+	case StageCalibrate:
+		return "calibrate"
+	case StageEstimate:
+		return "estimate"
+	case StageBounds:
+		return "bounds"
+	default:
+		return "encode"
+	}
+}
+
+// Trace accumulates one request's per-stage durations. Adds are atomic,
+// so the concurrent scenario workers of a batch can each charge their
+// estimate and bound-attach shares; for those two stages the total is
+// summed worker time, which can exceed the request's wall clock on a
+// parallel batch. A nil *Trace is a valid no-op — un-instrumented
+// requests pass nil and pay one branch per stage.
+type Trace struct {
+	ns [NumStages]atomic.Int64
+}
+
+// Add charges d to stage s.
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t != nil {
+		t.ns[s].Add(int64(d))
+	}
+}
+
+// NS returns the nanoseconds charged to stage s.
+func (t *Trace) NS(s Stage) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.ns[s].Load()
+}

@@ -9,13 +9,16 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
 // BenchmarkServeThroughput measures the service's request rate through
 // the full HTTP handler stack (decode, validate, estimate, encode) on
 // the warm calibrated registry — single-scenario requests vs the
-// batched default grid. Tracked by scripts/bench.sh; non-gating.
+// batched default grid, each plain and with metrics attached (the -obs
+// variants; scripts/bench.sh gates their overhead at 5%). Tracked by
+// scripts/bench.sh; non-gating.
 func BenchmarkServeThroughput(b *testing.B) {
 	memo := estimate.NewSampleMemo()
 	reg := estimate.StandardRegistry(estimate.RegistryConfig{Memo: memo})
@@ -23,8 +26,6 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := &Server{Registry: reg, Default: "refit-default", Sim: estimate.Sim{Memo: memo}}
-	handler := s.Handler()
 
 	spec := sweep.Spec{
 		Algorithms: sweep.AllAlgorithms(machine.Ops),
@@ -56,30 +57,42 @@ func BenchmarkServeThroughput(b *testing.B) {
 		cal.Precalibrate(triples, 0)
 	}
 
-	post := func(body []byte) *httptest.ResponseRecorder {
-		req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
-		rec := httptest.NewRecorder()
-		handler.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	// The plain and instrumented servers share the registry and memo, so
+	// both serve the same warm fits; only the metrics plumbing differs.
+	for _, v := range []struct {
+		suffix  string
+		metrics *Metrics
+	}{
+		{"", nil},
+		{"-obs", NewMetrics(obs.NewRegistry())},
+	} {
+		s := &Server{Registry: reg, Default: "refit-default", Sim: estimate.Sim{Memo: memo}, Obs: v.metrics}
+		handler := s.Handler()
+		post := func(body []byte) *httptest.ResponseRecorder {
+			req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			return rec
 		}
-		return rec
-	}
 
-	b.Run("single", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			post(singleBody)
-		}
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
-	})
-	b.Run("batch788", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			post(batchBody)
-		}
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-		b.ReportMetric(float64(b.N*len(grid))/b.Elapsed().Seconds(), "scenarios/s")
-	})
+		b.Run("single"+v.suffix, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				post(singleBody)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
+		b.Run("batch788"+v.suffix, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				post(batchBody)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(b.N*len(grid))/b.Elapsed().Seconds(), "scenarios/s")
+		})
+	}
 }

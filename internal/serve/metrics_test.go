@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// instrument attaches a fresh metric registry to s and returns it.
+func instrument(s *Server) *Metrics {
+	s.Obs = NewMetrics(obs.NewRegistry())
+	return s.Obs
+}
+
+// get performs a GET against the server's handler.
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// promValues parses the single-value lines (counters, gauges, histogram
+// _sum/_count/_bucket) of a Prometheus text body into a map.
+func promValues(t *testing.T, body string) map[string]uint64 {
+	t.Helper()
+	out := map[string]uint64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseUint(line[i+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("non-integer value in line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpoint drives a mixed workload through an instrumented
+// server and requires /metrics to report totals consistent with it,
+// and /debug/vars to expose the same registry as JSON.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	instrument(s)
+
+	// Two served requests: one closed-form in-range scenario carrying a
+	// validated bound, and one out-of-range scenario answered by sim.
+	for _, body := range []string{
+		`{"machine":"T3D","op":"broadcast","p":8,"m":1024}`,
+		`{"machine":"T3D","op":"broadcast","p":8,"m":65536}`,
+	} {
+		if rec := post(t, s, body, ""); rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	// Two client errors: a malformed body and an unknown registry.
+	for _, body := range []string{
+		`{"machine":`,
+		`{"registry":"nope","scenarios":[{"machine":"T3D","op":"broadcast","p":8,"m":16}]}`,
+	} {
+		if rec := post(t, s, body, ""); rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	vals := promValues(t, rec.Body.String())
+	for series, want := range map[string]uint64{
+		`serve_requests_total{outcome="ok"}`:                 2,
+		`serve_requests_total{outcome="client_error"}`:       2,
+		`serve_requests_total{outcome="server_error"}`:       0,
+		`serve_registry_requests_total{registry="test-cal"}`: 2,
+		`serve_scenarios_total{mode="closed_form"}`:          1,
+		`serve_scenarios_total{mode="fallback"}`:             1,
+		`serve_fallbacks_total{reason="out_of_range"}`:       1,
+		`serve_fallbacks_total{reason="uncovered"}`:          0,
+		`serve_fallbacks_total{reason="variant_only"}`:       0,
+		`serve_bounds_attached_total`:                        1,
+		`serve_in_flight`:                                    0,
+		`serve_batch_size_count`:                             2,
+		`serve_batch_size_sum`:                               2,
+	} {
+		if got, ok := vals[series]; !ok || got != want {
+			t.Errorf("%s = %d (present %v), want %d", series, got, ok, want)
+		}
+	}
+	// Every pipeline stage was observed exactly once per served request.
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		series := fmt.Sprintf("serve_stage_duration_ns_count{stage=%q}", st)
+		if got := vals[series]; got != 2 {
+			t.Errorf("%s = %d, want 2", series, got)
+		}
+	}
+	// The non-trivial stages actually accumulated time.
+	for _, st := range []obs.Stage{obs.StageDecode, obs.StageResolve, obs.StageEstimate, obs.StageEncode} {
+		series := fmt.Sprintf("serve_stage_duration_ns_sum{stage=%q}", st)
+		if vals[series] == 0 {
+			t.Errorf("%s = 0, want > 0", series)
+		}
+	}
+
+	// /debug/vars exposes the same registry under the "obs" key.
+	rec = get(t, s, "/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", rec.Code)
+	}
+	var vars struct {
+		Obs map[string]json.RawMessage `json:"obs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("decoding /debug/vars: %v\n%s", err, rec.Body.String())
+	}
+	if got := string(vars.Obs[`serve_requests_total{outcome="ok"}`]); got != "2" {
+		t.Fatalf(`vars serve_requests_total{outcome="ok"} = %s, want 2`, got)
+	}
+	var hist obs.HistogramSnapshot
+	if err := json.Unmarshal(vars.Obs["serve_batch_size"], &hist); err != nil {
+		t.Fatalf("decoding batch-size snapshot: %v", err)
+	}
+	if hist.Count != 2 || hist.Sum != 2 || len(hist.Buckets) == 0 {
+		t.Fatalf("batch-size snapshot %+v", hist)
+	}
+
+	if req, scn, fb := s.Obs.Totals(); req != 4 || scn != 2 || fb != 1 {
+		t.Fatalf("Totals() = (%d, %d, %d), want (4, 2, 1)", req, scn, fb)
+	}
+}
+
+// TestMetricsRoutesRequireObs: an un-instrumented server must not mount
+// the observability surfaces.
+func TestMetricsRoutesRequireObs(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		if rec := get(t, s, path); rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s on un-instrumented server: status %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+// TestErrorProvenanceHeaders: 4xx responses carry the same
+// X-Estimate-* provenance headers as successes — attributed to the
+// entry that would have answered — except when the named registry does
+// not exist, where there is no provenance to claim.
+func TestErrorProvenanceHeaders(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		name, body, query string
+		status            int
+		registry          string // want X-Estimate-Registry; "" = header absent
+	}{
+		{"success", `{"machine":"T3D","op":"broadcast","p":8,"m":16}`, "", http.StatusOK, "test-cal"},
+		{"malformed-body", `{"machine":`, "", http.StatusBadRequest, "test-cal"},
+		{"bad-scenario-default", `{"machine":"SP3","op":"broadcast","p":8,"m":16}`, "", http.StatusBadRequest, "test-cal"},
+		{"bad-scenario-named", `{"machine":"SP3","op":"broadcast","p":8,"m":16}`, "registry=paper", http.StatusBadRequest, "paper"},
+		{"no-scenarios", `{}`, "", http.StatusBadRequest, "test-cal"},
+		{"unknown-registry", `{"registry":"nope","scenarios":[{"machine":"T3D","op":"broadcast","p":8,"m":16}]}`, "", http.StatusBadRequest, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, s, tc.body, tc.query)
+			if rec.Code != tc.status {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.status, rec.Body.String())
+			}
+			if got := rec.Header().Get("X-Estimate-Registry"); got != tc.registry {
+				t.Fatalf("X-Estimate-Registry %q, want %q", got, tc.registry)
+			}
+			backend := rec.Header().Get("X-Estimate-Backend")
+			if (backend == "") != (tc.registry == "") {
+				t.Fatalf("X-Estimate-Backend %q inconsistent with registry header %q", backend, tc.registry)
+			}
+		})
+	}
+}
+
+// TestMetricsConcurrentExact hammers an instrumented server from many
+// goroutines and requires exact totals afterwards — the serving-layer
+// test the race gate runs with -race.
+func TestMetricsConcurrentExact(t *testing.T) {
+	s := testServer(t)
+	instrument(s)
+	s.Workers = 2
+
+	const clients, perClient = 8, 20
+	okBody := `[{"machine":"T3D","op":"broadcast","p":8,"m":16},
+	            {"machine":"T3D","op":"broadcast","p":8,"m":65536}]`
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if rec := post(t, s, okBody, ""); rec.Code != http.StatusOK {
+					panic(fmt.Sprintf("status %d: %s", rec.Code, rec.Body.String()))
+				}
+			}
+			if rec := post(t, s, `{}`, ""); rec.Code != http.StatusBadRequest {
+				panic(fmt.Sprintf("error request status %d", rec.Code))
+			}
+		}()
+	}
+	wg.Wait()
+
+	vals := promValues(t, get(t, s, "/metrics").Body.String())
+	const served = clients * perClient
+	for series, want := range map[string]uint64{
+		`serve_requests_total{outcome="ok"}`:           served,
+		`serve_requests_total{outcome="client_error"}`: clients,
+		`serve_scenarios_total{mode="closed_form"}`:    served,
+		`serve_scenarios_total{mode="fallback"}`:       served,
+		`serve_fallbacks_total{reason="out_of_range"}`: served,
+		`serve_bounds_attached_total`:                  served,
+		`serve_batch_size_sum`:                         2 * served,
+		`serve_batch_size_count`:                       served,
+		`serve_in_flight`:                              0,
+	} {
+		if got := vals[series]; got != want {
+			t.Errorf("%s = %d, want %d", series, got, want)
+		}
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/estimate"
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Scenario is one requested prediction — the wire form of a sweep grid
@@ -118,6 +120,14 @@ type Server struct {
 	// MaxMessage caps a scenario's message length, bounding the cost a
 	// single fallback simulation can impose; ≤ 0 means 16 MiB.
 	MaxMessage int
+	// Obs, when non-nil, records the serving metrics (see NewMetrics)
+	// and mounts GET /metrics and GET /debug/vars on the handler. Nil
+	// serving pays one branch per request and never reads the clock.
+	Obs *Metrics
+	// Logger, when non-nil, receives structured access logs: one debug
+	// line per estimate request with outcome and per-stage timings.
+	// Lifecycle messages (listening, draining) belong to the caller.
+	Logger *obs.Logger
 }
 
 // maxBodyBytes bounds a request body; the largest legitimate grids are
@@ -129,6 +139,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	if s.Obs != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		mux.HandleFunc("GET /debug/vars", s.handleVars)
+	}
 	return mux
 }
 
@@ -161,15 +175,168 @@ type resolved struct {
 	alg  string // "default" or a registry variant, validated
 	algs mpi.Algorithms
 	p, m int
-	// fallback and fallbackReason record whether the exact simulator
-	// must answer (outside the calibrated envelope, an unfitted pair,
-	// or a variant the expression set cannot distinguish).
+	// fallback, fbKind, and fallbackReason record whether the exact
+	// simulator must answer (outside the calibrated envelope, an
+	// unfitted pair, or a variant the expression set cannot
+	// distinguish) — the kind for metrics, the reason for the answer.
 	fallback       bool
+	fbKind         fallbackKind
 	fallbackReason string
 }
 
-// handleEstimate answers POST /v1/estimate.
+// handleEstimate answers POST /v1/estimate. It brackets serveEstimate
+// with the per-request instrumentation: in-flight gauge, outcome and
+// stage metrics, and the debug access-log line. With neither metrics
+// nor debug logging attached the request never reads the clock.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	logging := s.Logger.Enabled(obs.LevelDebug)
+	if s.Obs == nil && !logging {
+		s.serveEstimate(w, r, nil)
+		return
+	}
+	var tr obs.Trace
+	var start time.Time
+	if logging {
+		start = time.Now()
+	}
+	s.Obs.begin()
+	st := s.serveEstimate(w, r, &tr)
+	s.Obs.end()
+	s.Obs.observe(st, &tr)
+	if logging {
+		s.Logger.Debug("estimate",
+			obs.F("status", st.status),
+			obs.F("registry", st.registry),
+			obs.F("scenarios", st.scenarios),
+			obs.F("fallbacks", st.fallbacks),
+			obs.F("bounds", st.bounds),
+			obs.F("duration_ns", time.Since(start).Nanoseconds()),
+			obs.F("stage_ns", stageNS(&tr)))
+	}
+}
+
+// stageNS flattens a trace into the access-log object (encoding/json
+// sorts the keys, so lines stay stable).
+func stageNS(tr *obs.Trace) map[string]int64 {
+	out := make(map[string]int64, obs.NumStages)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		out[st.String()] = tr.NS(st)
+	}
+	return out
+}
+
+// stageTimer charges a request's sequential stages by chaining marks
+// off one base timestamp: a mark is a single monotonic-clock delta
+// (time.Since), roughly half the cost of a full time.Now, and the
+// stages tile the request with no gaps. The zero value (nil trace) is
+// a no-op that never reads the clock.
+type stageTimer struct {
+	tr   *obs.Trace
+	base time.Time
+	last time.Duration
+}
+
+func newStageTimer(tr *obs.Trace) stageTimer {
+	if tr == nil {
+		return stageTimer{}
+	}
+	return stageTimer{tr: tr, base: time.Now()}
+}
+
+// mark charges the time since the previous mark to stage st.
+func (t *stageTimer) mark(st obs.Stage) {
+	if t.tr == nil {
+		return
+	}
+	el := time.Since(t.base)
+	t.tr.Add(st, el-t.last)
+	t.last = el
+}
+
+// skip advances the mark without charging a stage — for spans timed
+// elsewhere (the scenario workers charge estimate and bounds).
+func (t *stageTimer) skip() {
+	if t.tr == nil {
+		return
+	}
+	t.last = time.Since(t.base)
+}
+
+// workerTimer accumulates one scenario worker's estimate and bounds
+// time locally against the request's base timestamp, flushing to the
+// shared trace once when the worker's share of the batch is done —
+// per-scenario atomic adds would contend across the pool. A workerTimer
+// with a nil trace never reads the clock.
+type workerTimer struct {
+	tr       *obs.Trace
+	base     time.Time
+	est, bnd time.Duration
+}
+
+// start returns the worker's clock reading before an estimate.
+func (w *workerTimer) start() time.Duration {
+	if w.tr == nil {
+		return 0
+	}
+	return time.Since(w.base)
+}
+
+// estimateDone charges the time since e0 to the estimate stage and
+// returns the new reading, the bounds stage's start.
+func (w *workerTimer) estimateDone(e0 time.Duration) time.Duration {
+	if w.tr == nil {
+		return 0
+	}
+	e1 := time.Since(w.base)
+	w.est += e1 - e0
+	return e1
+}
+
+// boundsDone charges the time since e1 to the bounds stage.
+func (w *workerTimer) boundsDone(e1 time.Duration) {
+	if w.tr == nil {
+		return
+	}
+	w.bnd += time.Since(w.base) - e1
+}
+
+// flush adds the worker's accumulated stage time to the trace.
+func (w *workerTimer) flush() {
+	if w.tr == nil {
+		return
+	}
+	w.tr.Add(obs.StageEstimate, w.est)
+	w.tr.Add(obs.StageBounds, w.bnd)
+}
+
+// setProvenance stamps the X-Estimate-* headers identifying the
+// expression set that answered (or would have answered) the request.
+func setProvenance(w http.ResponseWriter, e *estimate.Entry) {
+	h := w.Header()
+	h.Set("X-Estimate-Registry", e.Name)
+	h.Set("X-Estimate-Backend", e.Backend.Name())
+	h.Set("X-Estimate-Provenance", e.Backend.Provenance())
+}
+
+// serveEstimate does the work of POST /v1/estimate and reports the
+// request's outcome for instrumentation. tr may be nil.
+func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.Trace) reqStats {
+	st := reqStats{status: http.StatusOK}
+	// Until the request names a registry, errors are attributed to the
+	// default entry — the one that would have answered — so 4xx/5xx
+	// responses carry the same provenance headers as successes. An
+	// unknown-registry error clears the entry instead: there is no
+	// provenance to claim for a name that resolves to nothing.
+	entry, _ := s.Registry.Get(s.Default)
+	fail := func(status int, err error) reqStats {
+		if entry != nil {
+			setProvenance(w, entry)
+		}
+		writeError(w, status, err)
+		st.status = status
+		return st
+	}
+	tm := newStageTimer(tr)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -177,13 +344,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, fmt.Errorf("reading request body: %w", err))
-		return
+		return fail(status, fmt.Errorf("reading request body: %w", err))
 	}
 	regName, scns, err := parseEstimateRequest(body)
+	tm.mark(obs.StageDecode)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return fail(http.StatusBadRequest, err)
 	}
 	if regName == "" {
 		regName = r.URL.Query().Get("registry")
@@ -191,28 +357,26 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if regName == "" {
 		regName = s.Default
 	}
-	entry, err := s.Registry.Get(regName)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	if entry, err = s.Registry.Get(regName); err != nil {
+		return fail(http.StatusBadRequest, err)
 	}
+	st.registry = entry.Name
 	if len(scns) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("the request carries no scenarios"))
-		return
+		return fail(http.StatusBadRequest, errors.New("the request carries no scenarios"))
 	}
 	if len(scns) > s.maxBatch() {
-		writeError(w, http.StatusBadRequest,
+		return fail(http.StatusBadRequest,
 			fmt.Errorf("%d scenarios exceed the batch cap of %d", len(scns), s.maxBatch()))
-		return
 	}
 	res := make([]resolved, len(scns))
 	for i, sc := range scns {
 		if res[i], err = s.resolve(sc); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("scenario %d (%s/%s): %w", i, sc.Machine, sc.Op, err))
-			return
+			return fail(http.StatusBadRequest, fmt.Errorf("scenario %d (%s/%s): %w", i, sc.Machine, sc.Op, err))
 		}
-		res[i].fallbackReason, res[i].fallback = fallbackReason(entry, res[i])
+		res[i].fallbackReason, res[i].fbKind = fallbackReason(entry, res[i])
+		res[i].fallback = res[i].fbKind != fbNone
 	}
+	tm.mark(obs.StageResolve)
 
 	workers := s.Workers
 	if workers <= 0 {
@@ -230,11 +394,33 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		cal.Precalibrate(triples, workers)
 	}
+	tm.mark(obs.StageCalibrate)
 
 	answers := make([]Answer, len(res))
-	fanOut(workers, len(res), func(i int) {
-		answers[i] = s.answer(entry, res[i])
-	})
+	if len(res) == 1 {
+		// The common single-scenario request skips the pool and its
+		// worker closures entirely.
+		wt := workerTimer{tr: tr, base: tm.base}
+		answers[0] = s.answer(entry, res[0], &wt)
+		wt.flush()
+	} else {
+		fanOut(workers, len(res), func() (func(int), func()) {
+			wt := &workerTimer{tr: tr, base: tm.base}
+			return func(i int) { answers[i] = s.answer(entry, res[i], wt) }, wt.flush
+		})
+	}
+	tm.skip()
+
+	st.scenarios = len(res)
+	for i := range res {
+		if res[i].fallback {
+			st.fallbacks++
+			st.kinds[res[i].fbKind]++
+		}
+		if answers[i].ExpectedError != nil {
+			st.bounds++
+		}
+	}
 
 	resp := Response{
 		Registry:   entry.Name,
@@ -242,10 +428,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Provenance: entry.Backend.Provenance(),
 		Answers:    answers,
 	}
-	w.Header().Set("X-Estimate-Registry", resp.Registry)
-	w.Header().Set("X-Estimate-Backend", resp.Backend)
-	w.Header().Set("X-Estimate-Provenance", resp.Provenance)
+	setProvenance(w, entry)
 	writeJSON(w, http.StatusOK, resp)
+	tm.mark(obs.StageEncode)
+	return st
 }
 
 // parseEstimateRequest accepts the three request shapes: a bare
@@ -318,18 +504,30 @@ const sweepDefaultAlg = "default"
 
 // answer serves one resolved scenario from the entry — or from the
 // exact simulator, flagged, when the fallback decision computed at
-// resolve time says the entry cannot answer it honestly.
-func (s *Server) answer(entry *estimate.Entry, rs resolved) Answer {
+// resolve time says the entry cannot answer it honestly. Estimate and
+// bound-attach time is charged to the worker's timer.
+func (s *Server) answer(entry *estimate.Entry, rs resolved, wt *workerTimer) Answer {
 	echo := Scenario{Machine: rs.mach.Name(), Op: string(rs.op), Algorithm: rs.alg, P: rs.p, M: rs.m}
+	e0 := wt.start()
 	if rs.fallback {
 		est := s.Sim.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+		wt.estimateDone(e0)
 		return Answer{
 			Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend,
 			Fallback: true, FallbackReason: rs.fallbackReason,
 		}
 	}
 	est := entry.Backend.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+	e1 := wt.estimateDone(e0)
 	a := Answer{Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend}
+	attachBound(entry, rs, &a)
+	wt.boundsDone(e1)
+	return a
+}
+
+// attachBound annotates a closed-form answer with its validated
+// expected-error bound, when the entry carries one.
+func attachBound(entry *estimate.Entry, rs resolved, a *Answer) {
 	// Piecewise fits answer from one protocol segment; the expected
 	// error must come from validated lengths of that same segment, and
 	// the answer says which segment served it. Affine entries skip the
@@ -349,7 +547,7 @@ func (s *Server) answer(entry *estimate.Entry, rs resolved) Answer {
 					a.ExpectedError.SegmentMMin, a.ExpectedError.SegmentMMax = seg.MMin, seg.MMax
 				}
 			}
-			return a
+			return
 		}
 	}
 	if cell, ok := entry.Bounds.Bound(rs.mach.Name(), rs.op, rs.m); ok {
@@ -358,7 +556,6 @@ func (s *Server) answer(entry *estimate.Entry, rs resolved) Answer {
 			BasisM: cell.M, Points: cell.Points,
 		}
 	}
-	return a
 }
 
 // fallbackReason decides whether the scenario must be answered by the
@@ -367,29 +564,30 @@ func (s *Server) answer(entry *estimate.Entry, rs resolved) Answer {
 // expression set that cannot answer the pair honestly, either because
 // it has no fit at all (evaluating one would panic deep inside the
 // model) or because it only models vendor-default algorithms and the
-// request names another variant.
-func fallbackReason(entry *estimate.Entry, rs resolved) (string, bool) {
+// request names another variant. The kind is fbNone when the entry
+// answers in closed form.
+func fallbackReason(entry *estimate.Entry, rs resolved) (string, fallbackKind) {
 	if a, ok := entry.Backend.(*estimate.Analytic); ok {
 		if !a.Covers(rs.mach.Name(), rs.op) {
-			return uncoveredReason(entry, rs), true
+			return uncoveredReason(entry, rs), fbUncovered
 		}
 		// Fixed sets model the vendor-default algorithms only; naming
 		// the default variant explicitly is fine, any other variant is
 		// a question the set cannot answer.
 		if rs.alg != sweepDefaultAlg && rs.alg != mpi.DefaultAlgorithms(rs.mach).Get(rs.op) {
 			return fmt.Sprintf("the %s expression set models vendor-default algorithms only, not %s[%s]; answered by the exact simulator",
-				entry.Name, rs.op, rs.alg), true
+				entry.Name, rs.op, rs.alg), fbVariant
 		}
 	}
 	in, rng := entry.Covers(rs.mach, rs.op, rs.p, rs.m)
 	if in {
-		return "", false
+		return "", fbNone
 	}
 	if rng == (estimate.Range{}) {
-		return uncoveredReason(entry, rs), true
+		return uncoveredReason(entry, rs), fbUncovered
 	}
 	return fmt.Sprintf("p=%d m=%d is outside the calibrated range %s; answered by the exact simulator",
-		rs.p, rs.m, rng), true
+		rs.p, rs.m, rng), fbOutOfRange
 }
 
 func uncoveredReason(entry *estimate.Entry, rs resolved) string {
@@ -416,17 +614,21 @@ func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// fanOut runs fn(0..n-1) across a bounded worker pool — the
+// fanOut runs indices 0..n-1 across a bounded worker pool — the
 // calibration-pool pattern (jobs channel, WaitGroup), sized like
-// Precalibrate.
-func fanOut(workers, n int, fn func(i int)) {
+// Precalibrate. setup runs once per worker and returns the worker's
+// per-index fn plus a done hook that runs after its share of the batch
+// (worker-local state, e.g. timing accumulators, flushes there).
+func fanOut(workers, n int, setup func() (fn func(i int), done func())) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		fn, done := setup()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		done()
 		return
 	}
 	jobs := make(chan int, workers)
@@ -435,9 +637,11 @@ func fanOut(workers, n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fn, done := setup()
 			for i := range jobs {
 				fn(i)
 			}
+			done()
 		}()
 	}
 	for i := 0; i < n; i++ {

@@ -36,6 +36,12 @@ type Kernel struct {
 	failure  error // first process panic, if any
 	rng      *rand.Rand
 	executed uint64
+	wakeups  uint64
+
+	// flushedEvents/flushedWakeups mark how much of executed/wakeups the
+	// process-wide counters (counters.go) have already absorbed.
+	flushedEvents  uint64
+	flushedWakeups uint64
 }
 
 // New returns a kernel with its clock at zero and a deterministic RNG
@@ -59,10 +65,14 @@ func (k *Kernel) Reset(seed int64) {
 	if n := len(k.procs); n > 0 {
 		panic(fmt.Sprintf("sim: Reset with %d live process(es): %s", n, k.parkedNames()))
 	}
+	k.flushCounters()
 	k.now = 0
 	k.seq = 0
 	k.procSeq = 0
 	k.executed = 0
+	k.wakeups = 0
+	k.flushedEvents = 0
+	k.flushedWakeups = 0
 	k.failure = nil
 	k.events.reset()
 	k.rng.Seed(seed)
@@ -104,6 +114,7 @@ func (k *Kernel) wake(p *Proc, d Duration) {
 		t = t.Add(d)
 	}
 	k.seq++
+	k.wakeups++
 	k.events.push(event{at: t, seq: k.seq, proc: p})
 }
 
@@ -124,6 +135,7 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		p.resume <- struct{}{} // hand the token into the simulation
 		<-k.yield              // token returns when driving stops
 	}
+	k.flushCounters()
 	if k.failure != nil {
 		return k.failure
 	}

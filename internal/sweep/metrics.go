@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Run phases, in execution order. Indexes Metrics.phases.
+const (
+	phaseCache     = iota // serve cache hits
+	phaseCalibrate        // bulk-precalibrate pending triples
+	phaseEstimate         // estimate the remaining scenarios
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"cache", "calibrate", "estimate"}
+
+// Metrics holds the sweep-layer observability series. A nil *Metrics is
+// valid and records nothing, so Runner users opt in by attaching one.
+type Metrics struct {
+	cacheHits, cacheMisses *obs.Counter
+	phases                 [numPhases]*obs.Histogram
+}
+
+// NewMetrics registers the sweep metric series on reg:
+// sweep_cache_total{result="hit"|"miss"} counts scenario cache lookups,
+// and sweep_phase_duration_ns{phase="cache"|"calibrate"|"estimate"}
+// records wall-clock time per Run phase (one observation per phase per
+// Run, so each histogram's count equals the number of Runs).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		cacheHits: reg.Counter("sweep_cache_total",
+			"scenario cache lookups by result",
+			obs.Label{Key: "result", Value: "hit"}),
+		cacheMisses: reg.Counter("sweep_cache_total",
+			"scenario cache lookups by result",
+			obs.Label{Key: "result", Value: "miss"}),
+	}
+	for i, name := range phaseNames {
+		m.phases[i] = reg.Histogram("sweep_phase_duration_ns",
+			"wall-clock nanoseconds per sweep run phase",
+			obs.Label{Key: "phase", Value: name})
+	}
+	return m
+}
+
+// cacheLookups records one Run's cache outcome split. Nil-safe.
+func (m *Metrics) cacheLookups(hits, misses int) {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Add(uint64(hits))
+	m.cacheMisses.Add(uint64(misses))
+}
+
+// observePhase records one phase's wall-clock duration. Nil-safe.
+func (m *Metrics) observePhase(phase int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.phases[phase].ObserveDuration(d)
+}

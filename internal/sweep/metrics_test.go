@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunnerMetrics runs the same grid cold then warm through a cached
+// runner and requires exact cache counts and one phase observation per
+// run. The race gate runs this with -race.
+func TestRunnerMetrics(t *testing.T) {
+	scns := testScenarios(t)
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+
+	(&Runner{Workers: 4, Cache: cache, Metrics: metrics}).Run(scns)
+	(&Runner{Workers: 4, Cache: cache, Metrics: metrics}).Run(scns)
+
+	n := uint64(len(scns))
+	hits := reg.Counter("sweep_cache_total", "", obs.Label{Key: "result", Value: "hit"}).Value()
+	misses := reg.Counter("sweep_cache_total", "", obs.Label{Key: "result", Value: "miss"}).Value()
+	if misses != n || hits != n {
+		t.Fatalf("cache hits %d misses %d, want %d and %d (cold then warm)", hits, misses, n, n)
+	}
+	for _, phase := range phaseNames {
+		h := reg.Histogram("sweep_phase_duration_ns", "", obs.Label{Key: "phase", Value: phase})
+		if h.Count() != 2 {
+			t.Fatalf("phase %q observed %d times, want once per run", phase, h.Count())
+		}
+	}
+
+	// An un-cached, un-instrumented runner still works (nil Metrics) and
+	// a cached-but-uninstrumented one records nothing new.
+	(&Runner{Workers: 4, Cache: cache}).Run(scns)
+	if got := reg.Counter("sweep_cache_total", "", obs.Label{Key: "result", Value: "hit"}).Value(); got != n {
+		t.Fatalf("nil-Metrics run changed the counters: hits %d", got)
+	}
+}

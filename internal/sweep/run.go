@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/estimate"
 	"repro/internal/machine"
@@ -55,6 +56,9 @@ type Runner struct {
 	// OnProgress, when non-nil, is called after each scenario (from a
 	// single goroutine at a time).
 	OnProgress func(Progress)
+	// Metrics, when non-nil, records cache outcomes and per-phase
+	// timings (see NewMetrics). Nil costs nothing.
+	Metrics *Metrics
 }
 
 // Run executes all scenarios and returns results in scenario order.
@@ -117,6 +121,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	}
 
 	// Phase 1: serve cache hits, leaving the misses pending.
+	phaseStart := time.Now()
 	pending := make([]int, 0, len(scenarios))
 	keys := make([]string, len(scenarios))
 	if r.Cache != nil {
@@ -140,8 +145,13 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			pending = append(pending, i)
 		}
 	}
+	r.Metrics.observePhase(phaseCache, time.Since(phaseStart))
+	if r.Cache != nil {
+		r.Metrics.cacheLookups(len(scenarios)-len(pending), len(pending))
+	}
 
 	// Phase 2: bulk-calibrate the triples the pending scenarios need.
+	phaseStart = time.Now()
 	if cal, ok := backend.(*estimate.Calibrated); ok && len(pending) > 0 {
 		triples := make([]estimate.Triple, 0, len(pending))
 		for _, i := range pending {
@@ -152,14 +162,17 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 		}
 		cal.Precalibrate(triples, workers)
 	}
+	r.Metrics.observePhase(phaseCalibrate, time.Since(phaseStart))
 
 	// Phase 3: estimate what the cache could not serve.
+	phaseStart = time.Now()
 	r.forEach(workers, len(pending), func(j int) {
 		i := pending[j]
 		sc := scenarios[i]
 		results[i] = r.runOne(sc, keys[i], mctx[sc.Machine], backend)
 		report(i)
 	})
+	r.Metrics.observePhase(phaseEstimate, time.Since(phaseStart))
 	return results
 }
 

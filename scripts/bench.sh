@@ -25,7 +25,52 @@ out+=$'\n'
 # fits stay within 10% of affine throughput.
 out+=$(go test -run '^$' -bench 'BenchmarkPiecewiseServing' .)
 out+=$'\n'
-out+=$(go test -run '^$' -bench 'BenchmarkServeThroughput' ./internal/serve)
+# HTTP serving throughput, plain and instrumented (-obs). Three full
+# invocations: within each, a variant and its -obs twin run seconds
+# apart, so their ratio cancels the minute-scale load drift of a shared
+# box that single-shot or -count grouping would bake in.
+serve_out=""
+for _ in 1 2 3; do
+	serve_out+=$(go test -run '^$' -bench 'BenchmarkServeThroughput' ./internal/serve)
+	serve_out+=$'\n'
+done
+out+=$serve_out
+
+# Gate: metrics-enabled serving must stay within 5% of the plain warm
+# path. Verdict is the BEST paired obs/plain throughput ratio: real
+# instrumentation overhead depresses every pair, while host-load noise
+# (±5-10% on a shared box) depresses pairs independently, so a genuine
+# >5% regression fails all three pairs and a noisy dip fails only one.
+BENCH_SERVE="$serve_out" python3 - <<'EOF'
+import os, re, sys
+
+rates = {}
+for line in os.environ["BENCH_SERVE"].splitlines():
+    # The -GOMAXPROCS name suffix is absent when GOMAXPROCS=1.
+    m = re.match(r"BenchmarkServeThroughput/(\S+?)(?:-\d+)?\s", line)
+    if not m:
+        continue
+    rate = re.search(r"([\d.]+) scenarios/s", line)
+    if not rate:
+        sys.exit(f"bench: no scenarios/s in line: {line}")
+    rates.setdefault(m.group(1), []).append(float(rate.group(1)))
+
+failed = False
+for plain in ("single", "batch788"):
+    obs = plain + "-obs"
+    if len(rates.get(plain, [])) != len(rates.get(obs, [])) or not rates.get(plain):
+        counts = {k: len(v) for k, v in rates.items()}
+        sys.exit(f"bench: unpaired serve variants {counts}")
+    ratios = [o / p for o, p in zip(rates[obs], rates[plain])]
+    best = max(ratios)
+    verdict = "ok" if best >= 0.95 else "FAIL"
+    shown = ", ".join(f"{r:.1%}" for r in ratios)
+    print(f"bench: obs overhead {plain}: paired ratios [{shown}], "
+          f"best {best:.1%} {verdict}", file=sys.stderr)
+    failed |= best < 0.95
+if failed:
+    sys.exit("bench: metrics-enabled serving fell below 95% of the plain path in every paired run")
+EOF
 
 record=$(
 	BENCH_SHA="$sha" BENCH_OUT="$out" python3 - <<'EOF'
