@@ -187,42 +187,33 @@ func NewRegistry() *Registry {
 
 // Counter registers (or finds) a counter series.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.register(name, help, kindCounter, labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.register(name, help, kindCounter, labels, nil).counter
 }
 
 // Gauge registers (or finds) a gauge series.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.register(name, help, kindGauge, labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.register(name, help, kindGauge, labels, nil).gauge
 }
 
 // Histogram registers (or finds) a histogram series.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
-	s := r.register(name, help, kindHistogram, labels)
-	if s.hist == nil {
-		s.hist = &Histogram{}
-	}
-	return s.hist
+	return r.register(name, help, kindHistogram, labels, nil).hist
 }
 
 // CounterFunc registers a counter whose value is read from fn at export
 // time — for totals owned elsewhere (e.g. the sim kernel's process-wide
 // event counters). Re-registering replaces the function.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
-	s := r.register(name, help, kindCounter, labels)
-	s.fn = fn
+	r.register(name, help, kindCounter, labels, fn)
 }
 
 // register finds or creates the series for name+labels, panicking on a
-// kind collision — that is a wiring bug, not a runtime condition.
-func (r *Registry) register(name, help string, k kind, labels []Label) *series {
+// kind collision — that is a wiring bug, not a runtime condition. All
+// series mutation (value allocation, fn replacement, the family append)
+// happens under r.mu; exports snapshot under the same lock, so lazy
+// registration on the request path stays safe against concurrent
+// scrapes.
+func (r *Registry) register(name, help string, k kind, labels []Label, fn func() uint64) *series {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -236,21 +227,42 @@ func (r *Registry) register(name, help string, k kind, labels []Label) *series {
 	}
 	for _, s := range f.series {
 		if s.key == key {
+			if fn != nil {
+				s.fn = fn
+			}
 			return s
 		}
 	}
-	s := &series{labels: append([]Label(nil), labels...), key: key}
+	s := &series{labels: append([]Label(nil), labels...), key: key, fn: fn}
+	switch k {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{}
+	}
 	f.series = append(f.series, s)
 	return s
 }
 
-// sortedFamilies returns the families sorted by name, each with its
-// series sorted by rendered labels — the stable export order.
+// sortedFamilies returns a point-in-time copy of the families sorted by
+// name, each with its series sorted by rendered labels — the stable
+// export order. Families and series structs are copied under r.mu so
+// concurrent registration (or another scrape sorting its own copy)
+// never touches the slices this caller sorts and reads; the metric
+// values behind the copied handles stay live atomics.
 func (r *Registry) sortedFamilies() []*family {
 	r.mu.Lock()
 	out := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
-		out = append(out, f)
+		cp := &family{name: f.name, help: f.help, kind: f.kind,
+			series: make([]*series, len(f.series))}
+		for i, s := range f.series {
+			sc := *s
+			cp.series[i] = &sc
+		}
+		out = append(out, cp)
 	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })

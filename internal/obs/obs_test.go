@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -72,6 +74,52 @@ func TestRegistryReusesSeries(t *testing.T) {
 		}
 	}()
 	r.Gauge("x_total", "")
+}
+
+// TestRegisterDuringExport interleaves lazy registration of new labeled
+// series — the serving layer's per-registry counter pattern — with
+// concurrent WritePrometheus and Snapshot exports. Race-gated: the
+// exports sort and read the series slices the registrations grow, so
+// this is the check that snapshots copy under the registry lock.
+func TestRegisterDuringExport(t *testing.T) {
+	const writers, perWriter, scrapes = 4, 50, 2
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter("lazy_total", "per-entry counter",
+					Label{Key: "entry", Value: fmt.Sprintf("w%d-%d", w, i)}).Inc()
+				r.Histogram("lazy_ns", "per-entry histogram",
+					Label{Key: "entry", Value: fmt.Sprintf("w%d-%d", w, i)}).Observe(uint64(i))
+			}
+		}(w)
+	}
+	for s := 0; s < scrapes; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			key := fmt.Sprintf(`lazy_total{entry="w%d-%d"}`, w, i)
+			if got := snap[key]; got != uint64(1) {
+				t.Fatalf("%s = %v, want 1", key, got)
+			}
+		}
+	}
 }
 
 // TestPrometheusOutput pins the text-format layout for a deterministic

@@ -200,8 +200,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		start = time.Now()
 	}
 	s.Obs.begin()
+	defer s.Obs.end() // deferred so a panicking request (recovered by net/http) can't leak the in-flight gauge
 	st := s.serveEstimate(w, r, &tr)
-	s.Obs.end()
 	s.Obs.observe(st, &tr)
 	if logging {
 		s.Logger.Debug("estimate",

@@ -120,8 +120,22 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 		}
 	}
 
+	// phaseClock reads the monotonic clock only when metrics are
+	// attached, keeping the Metrics field's "nil costs nothing" promise.
+	phaseClock := func() time.Time {
+		if r.Metrics == nil {
+			return time.Time{}
+		}
+		return time.Now()
+	}
+	endPhase := func(phase int, start time.Time) {
+		if r.Metrics != nil {
+			r.Metrics.observePhase(phase, time.Since(start))
+		}
+	}
+
 	// Phase 1: serve cache hits, leaving the misses pending.
-	phaseStart := time.Now()
+	phaseStart := phaseClock()
 	pending := make([]int, 0, len(scenarios))
 	keys := make([]string, len(scenarios))
 	if r.Cache != nil {
@@ -145,13 +159,13 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			pending = append(pending, i)
 		}
 	}
-	r.Metrics.observePhase(phaseCache, time.Since(phaseStart))
+	endPhase(phaseCache, phaseStart)
 	if r.Cache != nil {
 		r.Metrics.cacheLookups(len(scenarios)-len(pending), len(pending))
 	}
 
 	// Phase 2: bulk-calibrate the triples the pending scenarios need.
-	phaseStart = time.Now()
+	phaseStart = phaseClock()
 	if cal, ok := backend.(*estimate.Calibrated); ok && len(pending) > 0 {
 		triples := make([]estimate.Triple, 0, len(pending))
 		for _, i := range pending {
@@ -162,17 +176,17 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 		}
 		cal.Precalibrate(triples, workers)
 	}
-	r.Metrics.observePhase(phaseCalibrate, time.Since(phaseStart))
+	endPhase(phaseCalibrate, phaseStart)
 
 	// Phase 3: estimate what the cache could not serve.
-	phaseStart = time.Now()
+	phaseStart = phaseClock()
 	r.forEach(workers, len(pending), func(j int) {
 		i := pending[j]
 		sc := scenarios[i]
 		results[i] = r.runOne(sc, keys[i], mctx[sc.Machine], backend)
 		report(i)
 	})
-	r.Metrics.observePhase(phaseEstimate, time.Since(phaseStart))
+	endPhase(phaseEstimate, phaseStart)
 	return results
 }
 
