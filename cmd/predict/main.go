@@ -13,6 +13,13 @@
 //	predict -registry refit-default -cache .sweepcache -op alltoall -p 64 -m 512
 //	predict -registry refit-piecewise -op scatter -p 32 -m 1024
 //	predict -list-registries
+//
+// With -remote, predict asks a running cmd/serve instance instead —
+// over the binary fast wire codec by default — and doubles as the
+// service's load generator:
+//
+//	predict -remote http://localhost:8080 -op alltoall -p 64 -m 512
+//	predict -remote http://localhost:8080 -grid -repeat 100   # 788-scenario batches
 package main
 
 import (
@@ -37,8 +44,16 @@ func main() {
 		backendF  = flag.String("backend", "paper", `legacy expression source: "paper" (= paper-table3), "calibrated" (= refit-default), or "piecewise" (= refit-piecewise)`)
 		cacheDir  = flag.String("cache", "", "sweep cache directory persisting calibrated expressions")
 		listReg   = flag.Bool("list-registries", false, "list the named expression sets and exit")
+		remote    = flag.String("remote", "", "ask a running serve instance at this base URL instead of evaluating locally")
+		codec     = flag.String("codec", "binary", `remote request codec: "binary" (fast wire mode) or "json"`)
+		repeat    = flag.Int("repeat", 1, "remote only: send the batch this many times (load generation)")
+		grid      = flag.Bool("grid", false, "remote only: send the full default sweep grid instead of one scenario per machine")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		os.Exit(runRemote(*remote, *registryF, *codec, *opName, *p, *m, *repeat, *grid))
+	}
 
 	reg, err := registry(*cacheDir)
 	if err != nil {

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+	"repro/internal/sweep"
+)
+
+// runRemote asks a running cmd/serve instance instead of evaluating
+// locally — by default over the binary fast wire codec, making predict
+// double as the service's load generator: -repeat N replays the batch
+// over a kept-alive connection and reports scenarios/s.
+func runRemote(url, registryName, codec, opName string, p, m, repeat int, grid bool) int {
+	var scns []serve.Scenario
+	if grid {
+		spec := sweep.Spec{
+			Algorithms: sweep.AllAlgorithms(machine.Ops),
+			Sizes:      estimate.DefaultCalibrationSizes,
+		}
+		expanded, err := spec.Expand()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predict:", err)
+			return 2
+		}
+		for _, sc := range expanded {
+			scns = append(scns, serve.Scenario{
+				Machine: sc.Machine, Op: string(sc.Op), Algorithm: sc.Algorithm, P: sc.P, M: sc.M,
+			})
+		}
+	} else {
+		op, err := estimate.ResolveOp(opName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predict:", err)
+			return 2
+		}
+		for _, mach := range machine.All() {
+			scns = append(scns, serve.Scenario{Machine: mach.Name(), Op: string(op), P: p, M: m})
+		}
+	}
+
+	var body []byte
+	var contentType string
+	switch codec {
+	case "binary":
+		body = encodeWire(registryName, scns)
+		contentType = wire.ContentType
+	case "json":
+		req := struct {
+			Registry  string           `json:"registry,omitempty"`
+			Scenarios []serve.Scenario `json:"scenarios"`
+		}{registryName, scns}
+		blob, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predict:", err)
+			return 1
+		}
+		body, contentType = blob, "application/json"
+	default:
+		fmt.Fprintf(os.Stderr, "predict: unknown -codec %q (want binary or json)\n", codec)
+		return 2
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	endpoint := url + "/v1/estimate"
+	if repeat < 1 {
+		repeat = 1
+	}
+	var last []byte
+	var cacheHeader string
+	start := time.Now()
+	for i := 0; i < repeat; i++ {
+		resp, err := client.Post(endpoint, contentType, bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predict:", err)
+			return 1
+		}
+		blob, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predict:", err)
+			return 1
+		}
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "predict: %s: %s\n", resp.Status, bytes.TrimSpace(blob))
+			return 1
+		}
+		last, cacheHeader = blob, resp.Header.Get("X-Estimate-Cache")
+	}
+	elapsed := time.Since(start)
+
+	answers, envelope, err := decodeAnswers(codec, last)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		return 1
+	}
+	fmt.Printf("remote %s (%s): %s, cache %s\n", url, codec, envelope, cacheHeader)
+	if grid {
+		fmt.Printf("  %d scenarios per request\n", len(answers))
+	} else {
+		for i, a := range answers {
+			note := ""
+			if a.Fallback {
+				note = "  (sim fallback)"
+			}
+			fmt.Printf("  %-8s T=%12.1f µs%s\n", scns[i].Machine, a.Micros, note)
+		}
+	}
+	rate := float64(len(scns)*repeat) / elapsed.Seconds()
+	fmt.Printf("  %d requests × %d scenarios in %s  →  %.0f scenarios/s\n",
+		repeat, len(scns), elapsed.Round(time.Millisecond), rate)
+	return 0
+}
+
+// encodeWire builds the binary request frame, interning each distinct
+// name once in the string table.
+func encodeWire(registry string, scns []serve.Scenario) []byte {
+	req := wire.Request{Registry: registry}
+	index := map[string]uint32{}
+	intern := func(s string) uint32 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint32(len(req.Table))
+		req.Table = append(req.Table, s)
+		index[s] = i
+		return i
+	}
+	for _, sc := range scns {
+		req.Records = append(req.Records, wire.Record{
+			Mach: intern(sc.Machine), Op: intern(sc.Op), Alg: intern(sc.Algorithm),
+			P: sc.P, M: sc.M,
+		})
+	}
+	return req.Append(nil)
+}
+
+// decodeAnswers normalizes both codecs' responses to (micros, fallback)
+// pairs plus a one-line envelope description.
+func decodeAnswers(codec string, blob []byte) ([]wire.Answer, string, error) {
+	if codec == "binary" {
+		var resp wire.Response
+		if err := resp.Decode(blob); err != nil {
+			return nil, "", err
+		}
+		return resp.Answers, fmt.Sprintf("registry %s, backend %s", resp.Registry, resp.Backend), nil
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(blob, &resp); err != nil {
+		return nil, "", err
+	}
+	answers := make([]wire.Answer, len(resp.Answers))
+	for i, a := range resp.Answers {
+		answers[i] = wire.Answer{Micros: a.Micros, Fallback: a.Fallback, FallbackReason: a.FallbackReason}
+	}
+	return answers, fmt.Sprintf("registry %s, backend %s", resp.Registry, resp.Backend), nil
+}

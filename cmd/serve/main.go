@@ -22,6 +22,13 @@
 // run on first touch (or at startup with -warm) and answers simply
 // carry no expected-error bound until a validation table exists.
 //
+// The endpoint negotiates its codec by Content-Type: JSON by default,
+// NDJSON (application/x-ndjson) for line-delimited streaming, and the
+// length-prefixed binary fast wire mode (application/x-estimate-wire)
+// that `predict -remote` speaks — see internal/serve/wire. Answers are
+// cached per scenario (-answer-cache-size) keyed by the entry's
+// calibration provenance, so recalibration self-invalidates.
+//
 // Observability: GET /metrics exposes Prometheus-format counters and
 // stage-latency histograms, GET /debug/vars the same registry as
 // expvar-style JSON; -log-level debug adds one structured access-log
@@ -59,6 +66,8 @@ func run() int {
 		cacheDir  = flag.String("cache", "", "sweep cache directory (persisted fits and error tables)")
 		registry  = flag.String("registry", "refit-default", "registry entry served when a request names none")
 		workers   = flag.Int("workers", 0, "per-request estimation workers (0 = all cores)")
+		answers   = flag.Int("answer-cache-size", 1<<18, "scenario answer-cache capacity (0 disables caching)")
+		wireMode  = flag.Bool("wire", true, "serve the binary and NDJSON fast wire codecs (false = JSON only)")
 		warm      = flag.Bool("warm", false, "precalibrate the default registry's triples before listening")
 		quiet     = flag.Bool("quiet", false, "suppress startup logging")
 		logLevel  = flag.String("log-level", "info", "structured log level (debug adds per-request access logs)")
@@ -110,12 +119,14 @@ func run() int {
 	}
 
 	server := &serve.Server{
-		Registry: reg,
-		Default:  *registry,
-		Sim:      estimate.Sim{Memo: memo},
-		Workers:  *workers,
-		Obs:      metrics,
-		Logger:   logger,
+		Registry:    reg,
+		Default:     *registry,
+		Sim:         estimate.Sim{Memo: memo},
+		Workers:     *workers,
+		Obs:         metrics,
+		Logger:      logger,
+		Cache:       serve.NewAnswerCache(*answers),
+		DisableWire: !*wireMode,
 	}
 	if *pprofAddr != "" {
 		go func() {

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+)
+
+// AnswerCache is the service's per-scenario answer cache: repeated
+// traffic for a scenario the registry has already answered skips
+// estimation, bound lookup, and fallback simulation entirely and
+// returns the finished Answer.
+//
+// Keys are derived the way sweep-cache keys are: the registry entry's
+// epoch (backend name + provenance, which carries the calibration
+// grid, methodology, fit family, and calibrationVersion) plus the
+// server's fallback-sim methodology digest, the machine's calibration
+// fingerprint, and the resolved scenario itself. Recalibration — a new
+// provenance — therefore self-invalidates: stale answers are simply
+// never found under the new epoch, and age out of the bounded space.
+//
+// The cache is sharded (16 ways) with single-flight misses: concurrent
+// requests for one cold key run the estimate once and share the
+// result, the same contract estimate.SampleMemo gives simulator
+// measurements. Capacity is bounded; eviction is a second-chance
+// (CLOCK-style) sweep per shard, so sustained hot keys survive churn.
+//
+// A nil *AnswerCache is valid and caches nothing (every request
+// reports "bypass").
+type AnswerCache struct {
+	shards   [acShards]acShard
+	perShard int
+}
+
+const acShards = 16
+
+// acKey identifies one cacheable answer. Every component that could
+// change the answer is in the key: the entry's epoch + config digest
+// (interned to a small id — see epochID — so the hot hit path never
+// hashes the long provenance strings), the machine's calibration
+// fingerprint (which doubles as the machine identity: it hashes the
+// full parameter set, so no separate name is needed), and the resolved
+// scenario. alg is the resolved name ("default" normalized), so the
+// alias and its eponymous variant cache separately — same behavior as
+// the serving path, which resolves before answering.
+type acKey struct {
+	eid  uint64 // interned epoch, from epochID
+	fp   string // estimate.CachedFingerprint of the machine
+	op   machine.Op
+	alg  string
+	p, m int
+}
+
+// epochIDs interns epoch strings (entry provenance + server config
+// digest) to small ids, so per-scenario cache keys carry 8 bytes
+// instead of a few hundred. Identical epochs — two entries over the
+// same calibration — intern to the same id and therefore share
+// answers; a recalibrated backend is a new string, hence a new id.
+var (
+	epochIDs sync.Map // string → uint64
+	epochSeq atomic.Uint64
+)
+
+func epochID(epoch string) uint64 {
+	if v, ok := epochIDs.Load(epoch); ok {
+		return v.(uint64)
+	}
+	v, _ := epochIDs.LoadOrStore(epoch, epochSeq.Add(1))
+	return v.(uint64)
+}
+
+// acEntry is one cached (or in-flight) answer; once gives cold keys
+// their single flight, done marks the answer as materialized (eviction
+// never removes an entry a goroutine is still computing into).
+type acEntry struct {
+	once sync.Once
+	done atomic.Bool
+	used atomic.Bool
+	ans  Answer
+}
+
+type acShard struct {
+	mu sync.RWMutex
+	m  map[acKey]*acEntry
+}
+
+// NewAnswerCache returns a cache bounded at roughly size answers
+// (rounded up to the shard count), or nil — caching disabled — when
+// size ≤ 0.
+func NewAnswerCache(size int) *AnswerCache {
+	if size <= 0 {
+		return nil
+	}
+	c := &AnswerCache{perShard: (size + acShards - 1) / acShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[acKey]*acEntry)
+	}
+	return c
+}
+
+// Len returns the number of cached (including in-flight) answers.
+func (c *AnswerCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Cap returns the configured capacity in answers (0 for nil).
+func (c *AnswerCache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.perShard * acShards
+}
+
+// get returns the entry for k, creating an in-flight one when absent.
+// created reports whether this caller inserted it — the accounting
+// miss; callers that found an entry (finished or in flight) are hits.
+// Either way the caller must pass its compute fn through e.once.Do and
+// read e.ans after, which is what serializes the single flight.
+func (c *AnswerCache) get(k acKey) (e *acEntry, created bool) {
+	sh := &c.shards[c.shard(&k)]
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		// The second-chance mark only needs to become true; checking
+		// first keeps steady hits from dirtying the cache line.
+		if !e.used.Load() {
+			e.used.Store(true)
+		}
+		return e, false
+	}
+	sh.mu.Lock()
+	if e, ok = sh.m[k]; ok {
+		sh.mu.Unlock()
+		if !e.used.Load() {
+			e.used.Store(true)
+		}
+		return e, false
+	}
+	if len(sh.m) >= c.perShard {
+		sh.evictLocked()
+	}
+	e = &acEntry{}
+	sh.m[k] = e
+	sh.mu.Unlock()
+	return e, true
+}
+
+// shard hashes the key's scenario coordinates (FNV-1a). The epoch id
+// is near-constant across a request stream and the fingerprint tracks
+// the few machine presets, so neither is worth hashing here — op, alg,
+// p, m spread the grid fine across 16 shards.
+func (c *AnswerCache) shard(k *acKey) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	for i := 0; i < len(k.op); i++ {
+		h = (h ^ uint32(k.op[i])) * prime
+	}
+	for i := 0; i < len(k.alg); i++ {
+		h = (h ^ uint32(k.alg[i])) * prime
+	}
+	h = (h ^ uint32(k.p)) * prime
+	h = (h ^ uint32(k.m)) * prime
+	return h % acShards
+}
+
+// evictLocked frees one slot: a second-chance sweep in map order
+// (randomized by Go) that skips in-flight entries, clears used marks
+// as it passes, and removes the first finished entry not referenced
+// since the last sweep — falling back to any finished entry when the
+// whole shard is recently used.
+func (sh *acShard) evictLocked() {
+	var fallback acKey
+	haveFallback := false
+	for k, e := range sh.m {
+		if !e.done.Load() {
+			continue
+		}
+		if e.used.Load() {
+			e.used.Store(false)
+			if !haveFallback {
+				fallback, haveFallback = k, true
+			}
+			continue
+		}
+		delete(sh.m, k)
+		return
+	}
+	if haveFallback {
+		delete(sh.m, fallback)
+	}
+	// Every entry in flight: let the shard run one over; the next
+	// insert's sweep will find finished entries to reclaim.
+}

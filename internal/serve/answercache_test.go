@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// countingBackend counts Estimate calls — the probe that proves the
+// answer cache's single flight actually deduplicates computation.
+type countingBackend struct {
+	inner estimate.Backend
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Name() string       { return b.inner.Name() }
+func (b *countingBackend) Provenance() string { return b.inner.Provenance() }
+func (b *countingBackend) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) estimate.Estimate {
+	b.calls.Add(1)
+	return b.inner.Estimate(mach, op, algs, p, m, cfg)
+}
+
+// cachedServer is testServer plus a bounded answer cache and metrics.
+func cachedServer(t *testing.T, size int) *Server {
+	t.Helper()
+	s := testServer(t)
+	s.Cache = NewAnswerCache(size)
+	instrument(s)
+	return s
+}
+
+func cacheHeader(t *testing.T, s *Server, body string) string {
+	t.Helper()
+	rec := post(t, s, body, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec.Header().Get("X-Estimate-Cache")
+}
+
+// TestAnswerCacheHitMissHeader: cold scenarios report miss, warm ones
+// hit, and a server without a cache reports bypass — with the
+// serve_answer_cache_total series counting per scenario.
+func TestAnswerCacheHitMissHeader(t *testing.T) {
+	s := cachedServer(t, 1024)
+	batch := `[{"machine":"T3D","op":"broadcast","p":8,"m":16},
+	           {"machine":"T3D","op":"broadcast","p":8,"m":1024}]`
+	if got := cacheHeader(t, s, batch); got != "miss" {
+		t.Fatalf("cold batch X-Estimate-Cache %q, want miss", got)
+	}
+	if got := cacheHeader(t, s, batch); got != "hit" {
+		t.Fatalf("warm batch X-Estimate-Cache %q, want hit", got)
+	}
+	// A batch mixing a warm scenario with a cold one is still a miss.
+	mixed := `[{"machine":"T3D","op":"broadcast","p":8,"m":16},
+	           {"machine":"T3D","op":"broadcast","p":4,"m":16}]`
+	if got := cacheHeader(t, s, mixed); got != "miss" {
+		t.Fatalf("mixed batch X-Estimate-Cache %q, want miss", got)
+	}
+	vals := promValues(t, get(t, s, "/metrics").Body.String())
+	for series, want := range map[string]uint64{
+		`serve_answer_cache_total{result="miss"}`:   3, // 2 cold + 1 new in mixed
+		`serve_answer_cache_total{result="hit"}`:    3, // 2 warm + 1 warm in mixed
+		`serve_answer_cache_total{result="bypass"}`: 0,
+	} {
+		if got := vals[series]; got != want {
+			t.Errorf("%s = %d, want %d", series, got, want)
+		}
+	}
+
+	noCache := testServer(t)
+	instrument(noCache)
+	if got := cacheHeader(t, noCache, batch); got != "bypass" {
+		t.Fatalf("cacheless X-Estimate-Cache %q, want bypass", got)
+	}
+	vals = promValues(t, get(t, noCache, "/metrics").Body.String())
+	if got := vals[`serve_answer_cache_total{result="bypass"}`]; got != 2 {
+		t.Errorf("bypass total = %d, want 2", got)
+	}
+}
+
+// TestAnswerCacheIdenticalAnswers: cached answers are the same bytes as
+// computed ones — the cache is invisible except for speed.
+func TestAnswerCacheIdenticalAnswers(t *testing.T) {
+	s := cachedServer(t, 1024)
+	body := `[{"machine":"T3D","op":"broadcast","p":8,"m":16},
+	          {"machine":"T3D","op":"broadcast","p":8,"m":65536}]`
+	cold := post(t, s, body, "").Body.String()
+	warm := post(t, s, body, "").Body.String()
+	if cold != warm {
+		t.Fatalf("cached response differs:\n%s\nvs\n%s", cold, warm)
+	}
+	// And matches the cacheless server's bytes exactly.
+	plain := post(t, testServer(t), body, "").Body.String()
+	if cold != plain {
+		t.Fatalf("cached response differs from uncached:\n%s\nvs\n%s", cold, plain)
+	}
+}
+
+// TestAnswerCacheSingleFlight: many concurrent requests for one cold
+// scenario compute it exactly once and produce exact hit/miss totals —
+// the concurrency contract the race gate runs under -race.
+func TestAnswerCacheSingleFlight(t *testing.T) {
+	counting := &countingBackend{inner: estimate.PaperAnalytic()}
+	reg := estimate.NewRegistry()
+	if err := reg.Register(&estimate.Entry{
+		Name: "counted", Description: "analytic behind a call counter", Backend: counting,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Registry: reg, Default: "counted", Sim: estimate.Sim{}, Config: tinyCfg,
+		Cache: NewAnswerCache(64)}
+	instrument(s)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := post(t, s, `{"machine":"SP2","op":"alltoall","p":8,"m":1024}`, "")
+			if rec.Code != http.StatusOK {
+				panic(fmt.Sprintf("status %d: %s", rec.Code, rec.Body.String()))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if calls := counting.calls.Load(); calls != 1 {
+		t.Fatalf("backend computed %d times for one scenario, want 1 (single flight)", calls)
+	}
+	vals := promValues(t, get(t, s, "/metrics").Body.String())
+	if miss := vals[`serve_answer_cache_total{result="miss"}`]; miss != 1 {
+		t.Errorf("miss total = %d, want exactly 1", miss)
+	}
+	if hit := vals[`serve_answer_cache_total{result="hit"}`]; hit != clients-1 {
+		t.Errorf("hit total = %d, want exactly %d", hit, clients-1)
+	}
+}
+
+// TestAnswerCacheInvalidation: the cache key carries the backend's
+// provenance, so a recalibrated backend — here a second calibrated
+// entry over a different grid — never sees the old entry's answers,
+// while an identically-provenanced backend shares them.
+func TestAnswerCacheInvalidation(t *testing.T) {
+	memo := estimate.NewSampleMemo()
+	mkCal := func(lengths []int) *estimate.Calibrated {
+		return &estimate.Calibrated{
+			Config: tinyCfg, Sizes: []int{4, 8}, Lengths: lengths, Memo: memo,
+		}
+	}
+	calA, calB := mkCal([]int{16, 1024}), mkCal([]int{16, 2048})
+	calTwin := mkCal([]int{16, 1024}) // same grid as A: same provenance
+	if calA.Provenance() == calB.Provenance() {
+		t.Fatal("fixture broken: different grids share a provenance")
+	}
+	reg := estimate.NewRegistry()
+	for name, cal := range map[string]*estimate.Calibrated{
+		"cal-a": calA, "cal-b": calB, "cal-twin": calTwin,
+	} {
+		if err := reg.Register(&estimate.Entry{
+			Name: name, Description: name, Backend: cal, Ranges: cal.Range,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &Server{Registry: reg, Default: "cal-a", Sim: estimate.Sim{Memo: memo}, Config: tinyCfg,
+		Cache: NewAnswerCache(1024)}
+
+	const body = `{"machine":"T3D","op":"broadcast","p":8,"m":16}`
+	header := func(registry string) string {
+		rec := post(t, s, body, "registry="+registry)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("registry %s: status %d: %s", registry, rec.Code, rec.Body.String())
+		}
+		return rec.Header().Get("X-Estimate-Cache")
+	}
+	if got := header("cal-a"); got != "miss" {
+		t.Fatalf("cold cal-a: %q, want miss", got)
+	}
+	if got := header("cal-a"); got != "hit" {
+		t.Fatalf("warm cal-a: %q, want hit", got)
+	}
+	// A different provenance is a different epoch: no stale answer.
+	if got := header("cal-b"); got != "miss" {
+		t.Fatalf("cal-b after cal-a: %q, want miss (provenance change must invalidate)", got)
+	}
+	// An identical provenance shares the epoch — and the answers.
+	if got := header("cal-twin"); got != "hit" {
+		t.Fatalf("cal-twin after cal-a: %q, want hit (identical provenance shares)", got)
+	}
+	// The original epoch is untouched by the recalibrated entry's traffic.
+	if got := header("cal-a"); got != "hit" {
+		t.Fatalf("cal-a after cal-b: %q, want hit", got)
+	}
+}
+
+// TestAnswerCacheEviction: the cache never exceeds its configured
+// capacity, and evicted scenarios simply recompute as misses.
+func TestAnswerCacheEviction(t *testing.T) {
+	s := cachedServer(t, acShards) // one answer per shard
+	if s.Cache.Cap() != acShards {
+		t.Fatalf("Cap() = %d, want %d", s.Cache.Cap(), acShards)
+	}
+	for m := 0; m < 64; m++ {
+		body := fmt.Sprintf(`{"machine":"T3D","op":"broadcast","p":8,"m":%d}`, m)
+		if rec := post(t, s, body, ""); rec.Code != http.StatusOK {
+			t.Fatalf("m=%d: status %d: %s", m, rec.Code, rec.Body.String())
+		}
+		if n := s.Cache.Len(); n > s.Cache.Cap() {
+			t.Fatalf("after %d scenarios: Len() = %d exceeds Cap() = %d", m+1, n, s.Cache.Cap())
+		}
+	}
+	if s.Cache.Len() == 0 {
+		t.Fatal("cache empty after traffic")
+	}
+}

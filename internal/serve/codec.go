@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+	"sync"
+
+	"repro/internal/serve/wire"
+)
+
+// codecKind names the wire formats POST /v1/estimate negotiates by
+// Content-Type. JSON stays the default (and the golden-pinned format);
+// NDJSON is the curl-able streaming fallback; binary is the
+// length-prefixed fast path (package wire).
+type codecKind int
+
+const (
+	codecUnknown codecKind = iota - 1 // negotiation failed (415)
+	codecJSON
+	codecNDJSON
+	codecBinary
+	numCodecs = 3
+)
+
+var codecNames = [numCodecs]string{"json", "ndjson", "binary"}
+
+// Content types the endpoint accepts. JSON additionally answers
+// requests with no Content-Type at all and curl's -d default
+// (x-www-form-urlencoded), which has always carried JSON here.
+const (
+	ctJSON   = "application/json"
+	ctNDJSON = "application/x-ndjson"
+)
+
+// acceptPost is the Accept-Post header value a 415 response carries.
+const acceptPost = ctJSON + ", " + ctNDJSON + ", " + wire.ContentType
+
+// negotiate maps the request's Content-Type to a codec. Unknown types
+// are a 415 — falling through to the JSON decoder would surface as a
+// confusing syntax 400.
+func (s *Server) negotiate(r *http.Request) (codecKind, error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return codecJSON, nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return codecUnknown, fmt.Errorf("unparseable Content-Type %q; supported: %s", ct, acceptPost)
+	}
+	switch mt {
+	case ctJSON, "text/json", "application/x-www-form-urlencoded":
+		return codecJSON, nil
+	case ctNDJSON:
+		if !s.DisableWire {
+			return codecNDJSON, nil
+		}
+	case wire.ContentType:
+		if !s.DisableWire {
+			return codecBinary, nil
+		}
+	}
+	return codecUnknown, fmt.Errorf("unsupported Content-Type %q; supported: %s", ct, acceptPost)
+}
+
+// parseNDJSON decodes one scenario object per non-blank line.
+func parseNDJSON(body []byte) ([]Scenario, error) {
+	var scns []Scenario
+	for line := 0; len(body) > 0; {
+		raw := body
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			raw, body = body[:i], body[i+1:]
+		} else {
+			body = nil
+		}
+		line++
+		raw = bytes.TrimSpace(raw)
+		if len(raw) == 0 {
+			continue
+		}
+		var sc Scenario
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return nil, fmt.Errorf("decoding NDJSON line %d: %w", line, err)
+		}
+		scns = append(scns, sc)
+	}
+	return scns, nil
+}
+
+// writeNDJSON streams one compact answer object per line. The response
+// envelope (registry, backend, provenance) travels in the X-Estimate-*
+// headers, like every response.
+func writeNDJSON(w http.ResponseWriter, answers []Answer) {
+	buf := getBuffer()
+	defer putBuffer(buf)
+	enc := json.NewEncoder(buf)
+	for i := range answers {
+		if err := enc.Encode(&answers[i]); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", ctNDJSON)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// resolveWire binds a decoded binary request into res. Each distinct
+// (machine, op, algorithm) index triple is resolved once per request
+// through the scratch memo — the point of the string table — and every
+// record then pays only the (p, m) validation.
+func (s *Server) resolveWire(req *wire.Request, scr *scratch, res []resolved) error {
+	clear(scr.triples)
+	for i, rec := range req.Records {
+		tk := uint64(rec.Mach)<<42 | uint64(rec.Op)<<21 | uint64(rec.Alg)
+		base, ok := scr.triples[tk]
+		if !ok {
+			var err error
+			base, err = s.resolveTriple(req.Table[rec.Mach], req.Table[rec.Op], req.Table[rec.Alg])
+			if err != nil {
+				return fmt.Errorf("scenario %d (%s/%s): %w",
+					i, req.Table[rec.Mach], req.Table[rec.Op], err)
+			}
+			scr.triples[tk] = base
+		}
+		rs := base
+		if err := s.checkPM(&rs, rec.P, rec.M); err != nil {
+			return fmt.Errorf("scenario %d (%s/%s): %w",
+				i, req.Table[rec.Mach], req.Table[rec.Op], err)
+		}
+		res[i] = rs
+	}
+	return nil
+}
+
+// writeWire encodes the binary response into the scratch buffer (grown
+// once, reused across requests) and writes it in one call.
+func writeWire(w http.ResponseWriter, scr *scratch, registry, backend, provenance string, answers []Answer) {
+	b := wire.AppendResponseHeader(scr.wbuf[:0], registry, backend, provenance, len(answers))
+	for i := range answers {
+		a := &answers[i]
+		wa := wire.Answer{Micros: a.Micros, Fallback: a.Fallback, FallbackReason: a.FallbackReason}
+		if a.ExpectedError != nil {
+			wa.HasBound = true
+			wa.Bound = wire.Bound{
+				RelMedian: a.ExpectedError.RelMedian, RelMax: a.ExpectedError.RelMax,
+				BasisM: a.ExpectedError.BasisM, Points: a.ExpectedError.Points,
+				SegmentMMin: a.ExpectedError.SegmentMMin, SegmentMMax: a.ExpectedError.SegmentMMax,
+			}
+		}
+		b = wire.AppendAnswer(b, wa)
+	}
+	scr.wbuf = b
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// bufPool recycles the request-body and response-encode buffers across
+// requests — per-request buffer allocation was a measurable share of
+// the JSON path's cost, and the binary path wants none at all.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuffer keeps one-off giants (a near-cap request body) from
+// pinning memory in the pool; a batched 788-scenario response is well
+// under it.
+const maxPooledBuffer = 4 << 20
+
+func getBuffer() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+func putBuffer(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// scratch is the per-request working set — resolved scenarios,
+// answers, cache verdicts, the decoded binary frame, and the binary
+// encode buffer — pooled so a steady request stream stops allocating
+// per request on every codec path. Slices are resliced and fully
+// overwritten each use.
+type scratch struct {
+	res     []resolved
+	answers []Answer
+	cres    []uint8
+	wreq    wire.Request
+	wbuf    []byte
+	triples map[uint64]resolved
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{triples: make(map[uint64]resolved)}
+}}
+
+func getScratch() *scratch {
+	return scratchPool.Get().(*scratch)
+}
+
+func putScratch(s *scratch) {
+	if cap(s.res) > 1<<16 { // a pathological one-off batch shouldn't pin its arena
+		return
+	}
+	scratchPool.Put(s)
+}
+
+func (s *scratch) resolvedSlice(n int) []resolved {
+	if cap(s.res) < n {
+		s.res = make([]resolved, n)
+	}
+	s.res = s.res[:n]
+	return s.res
+}
+
+func (s *scratch) answerSlice(n int) []Answer {
+	if cap(s.answers) < n {
+		s.answers = make([]Answer, n)
+	}
+	s.answers = s.answers[:n]
+	return s.answers
+}
+
+func (s *scratch) cacheSlice(n int) []uint8 {
+	if cap(s.cres) < n {
+		s.cres = make([]uint8, n)
+	}
+	s.cres = s.cres[:n]
+	return s.cres
+}

@@ -27,11 +27,15 @@ var fallbackKindNames = [numFallbackKinds]string{"", "out_of_range", "uncovered"
 // into metric updates and an access-log line by handleEstimate.
 type reqStats struct {
 	status    int
-	registry  string // resolved entry name; "" when none resolved
+	registry  string    // resolved entry name; "" when none resolved
+	codec     codecKind // negotiated wire codec; codecUnknown on 415
 	scenarios int
 	fallbacks int
 	kinds     [numFallbackKinds]int
 	bounds    int // answers carrying an expected_error
+	// Answer-cache verdicts per scenario. With no cache attached every
+	// scenario is a bypass.
+	cacheHits, cacheMisses, cacheBypass int
 }
 
 // Metrics holds the serving layer's observability series. A nil
@@ -44,6 +48,8 @@ type Metrics struct {
 	scenariosClosed, scenariosFallback *obs.Counter
 	fallbackKinds                      [numFallbackKinds]*obs.Counter // [fbNone] stays nil
 	bounds                             *obs.Counter
+	wire                               [numCodecs]*obs.Counter
+	cacheHit, cacheMiss, cacheBypass   *obs.Counter
 	inFlight                           *obs.Gauge
 	batch                              *obs.Histogram
 	stages                             [obs.NumStages]*obs.Histogram
@@ -61,6 +67,8 @@ type Metrics struct {
 //	serve_scenarios_total{mode}            closed_form | fallback
 //	serve_fallbacks_total{reason}          out_of_range | uncovered | variant_only
 //	serve_bounds_attached_total            answers carrying expected_error
+//	serve_wire_requests_total{codec}       json | ndjson | binary
+//	serve_answer_cache_total{result}       hit | miss | bypass (per scenario)
 //	serve_in_flight                        requests currently in the handler
 //	serve_batch_size                       scenarios per served request
 //	serve_stage_duration_ns{stage}         decode … encode (see obs.Stage)
@@ -89,6 +97,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 	m.bounds = reg.Counter("serve_bounds_attached_total",
 		"served answers carrying a validated expected_error bound")
+	for c := codecKind(0); c < numCodecs; c++ {
+		m.wire[c] = reg.Counter("serve_wire_requests_total",
+			"estimate requests by negotiated wire codec",
+			obs.Label{Key: "codec", Value: codecNames[c]})
+	}
+	cache := func(result string) *obs.Counter {
+		return reg.Counter("serve_answer_cache_total",
+			"scenario answer-cache lookups by result (bypass: no cache attached)",
+			obs.Label{Key: "result", Value: result})
+	}
+	m.cacheHit, m.cacheMiss, m.cacheBypass = cache("hit"), cache("miss"), cache("bypass")
 	m.inFlight = reg.Gauge("serve_in_flight",
 		"estimate requests currently being handled")
 	m.batch = reg.Histogram("serve_batch_size",
@@ -139,8 +158,20 @@ func (m *Metrics) observe(st reqStats, tr *obs.Trace) {
 	default:
 		m.reqServerErr.Inc()
 	}
+	if st.codec >= 0 {
+		m.wire[st.codec].Inc()
+	}
 	if st.status != http.StatusOK {
 		return
+	}
+	if st.cacheHits > 0 {
+		m.cacheHit.Add(uint64(st.cacheHits))
+	}
+	if st.cacheMisses > 0 {
+		m.cacheMiss.Add(uint64(st.cacheMisses))
+	}
+	if st.cacheBypass > 0 {
+		m.cacheBypass.Add(uint64(st.cacheBypass))
 	}
 	if st.registry != "" {
 		m.registryCounter(st.registry).Inc()

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -120,6 +119,17 @@ type Server struct {
 	// MaxMessage caps a scenario's message length, bounding the cost a
 	// single fallback simulation can impose; ≤ 0 means 16 MiB.
 	MaxMessage int
+	// Cache, when non-nil, memoizes finished answers per scenario —
+	// keyed by the entry's epoch (backend + provenance, so
+	// recalibration self-invalidates), the fallback-sim methodology,
+	// the machine fingerprint, and the resolved scenario. Repeated
+	// traffic then skips estimation and bound lookup entirely. Nil
+	// disables caching (every request reports "bypass").
+	Cache *AnswerCache
+	// DisableWire turns off the binary and NDJSON codecs: only the
+	// JSON content types are accepted, everything else is a 415. The
+	// zero value serves all three.
+	DisableWire bool
 	// Obs, when non-nil, records the serving metrics (see NewMetrics)
 	// and mounts GET /metrics and GET /debug/vars on the handler. Nil
 	// serving pays one branch per request and never reads the clock.
@@ -128,6 +138,29 @@ type Server struct {
 	// line per estimate request with outcome and per-stage timings.
 	// Lifecycle messages (listening, draining) belong to the caller.
 	Logger *obs.Logger
+
+	// epochs caches each entry's interned answer-cache epoch id
+	// (Entry.Epoch plus the server's sim-config digest) by entry
+	// identity.
+	epochs sync.Map // *estimate.Entry → uint64
+	// cfgOnce/cfgDigest memoize the fallback-methodology digest folded
+	// into every epoch: fallback answers depend on s.config(), so two
+	// servers with different methodologies must never share cached
+	// answers even over one AnswerCache.
+	cfgOnce   sync.Once
+	cfgDigest string
+	// triples caches name binding per (machine, op, algorithm) triple:
+	// the preset constructors build a fresh machine (and algorithm
+	// table) on every lookup, which would otherwise dominate a batched
+	// request's cost. The valid-triple space is small and fixed, so the
+	// cache is naturally bounded; failed resolutions are not cached.
+	triplesMu sync.RWMutex
+	triples   map[tripleKey]resolved
+}
+
+// tripleKey names one (machine, op, algorithm) binding, pre-resolution.
+type tripleKey struct {
+	mach, op, alg string
 }
 
 // maxBodyBytes bounds a request body; the largest legitimate grids are
@@ -321,7 +354,7 @@ func setProvenance(w http.ResponseWriter, e *estimate.Entry) {
 // serveEstimate does the work of POST /v1/estimate and reports the
 // request's outcome for instrumentation. tr may be nil.
 func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.Trace) reqStats {
-	st := reqStats{status: http.StatusOK}
+	st := reqStats{status: http.StatusOK, codec: codecUnknown}
 	// Until the request names a registry, errors are attributed to the
 	// default entry — the one that would have answered — so 4xx/5xx
 	// responses carry the same provenance headers as successes. An
@@ -336,9 +369,16 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 		st.status = status
 		return st
 	}
-	tm := newStageTimer(tr)
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	codec, err := s.negotiate(r)
 	if err != nil {
+		w.Header().Set("Accept-Post", acceptPost)
+		return fail(http.StatusUnsupportedMediaType, err)
+	}
+	st.codec = codec
+	tm := newStageTimer(tr)
+	bodyBuf := getBuffer()
+	defer putBuffer(bodyBuf)
+	if _, err := bodyBuf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
 		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -346,7 +386,25 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 		}
 		return fail(status, fmt.Errorf("reading request body: %w", err))
 	}
-	regName, scns, err := parseEstimateRequest(body)
+	body := bodyBuf.Bytes()
+	scr := getScratch()
+	defer putScratch(scr)
+
+	// Decode: the codecs differ only here and at encode. JSON and
+	// NDJSON produce named scenarios for the resolve loop; the binary
+	// frame is resolved through its string table below.
+	var regName string
+	var scns []Scenario
+	switch codec {
+	case codecNDJSON:
+		scns, err = parseNDJSON(body)
+	case codecBinary:
+		if err = scr.wreq.Decode(body); err == nil {
+			regName = scr.wreq.Registry
+		}
+	default:
+		regName, scns, err = parseEstimateRequest(body)
+	}
 	tm.mark(obs.StageDecode)
 	if err != nil {
 		return fail(http.StatusBadRequest, err)
@@ -361,18 +419,30 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 		return fail(http.StatusBadRequest, err)
 	}
 	st.registry = entry.Name
-	if len(scns) == 0 {
+	n := len(scns)
+	if codec == codecBinary {
+		n = len(scr.wreq.Records)
+	}
+	if n == 0 {
 		return fail(http.StatusBadRequest, errors.New("the request carries no scenarios"))
 	}
-	if len(scns) > s.maxBatch() {
+	if n > s.maxBatch() {
 		return fail(http.StatusBadRequest,
-			fmt.Errorf("%d scenarios exceed the batch cap of %d", len(scns), s.maxBatch()))
+			fmt.Errorf("%d scenarios exceed the batch cap of %d", n, s.maxBatch()))
 	}
-	res := make([]resolved, len(scns))
-	for i, sc := range scns {
-		if res[i], err = s.resolve(sc); err != nil {
-			return fail(http.StatusBadRequest, fmt.Errorf("scenario %d (%s/%s): %w", i, sc.Machine, sc.Op, err))
+	res := scr.resolvedSlice(n)
+	if codec == codecBinary {
+		if err := s.resolveWire(&scr.wreq, scr, res); err != nil {
+			return fail(http.StatusBadRequest, err)
 		}
+	} else {
+		for i, sc := range scns {
+			if res[i], err = s.resolve(sc); err != nil {
+				return fail(http.StatusBadRequest, fmt.Errorf("scenario %d (%s/%s): %w", i, sc.Machine, sc.Op, err))
+			}
+		}
+	}
+	for i := range res {
 		res[i].fallbackReason, res[i].fbKind = fallbackReason(entry, res[i])
 		res[i].fallback = res[i].fbKind != fbNone
 	}
@@ -396,17 +466,22 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	}
 	tm.mark(obs.StageCalibrate)
 
-	answers := make([]Answer, len(res))
+	var epoch uint64
+	if s.Cache != nil {
+		epoch = s.entryEpoch(entry)
+	}
+	answers := scr.answerSlice(len(res))
+	cres := scr.cacheSlice(len(res))
 	if len(res) == 1 {
 		// The common single-scenario request skips the pool and its
 		// worker closures entirely.
 		wt := workerTimer{tr: tr, base: tm.base}
-		answers[0] = s.answer(entry, res[0], &wt)
+		answers[0], cres[0] = s.answerCached(entry, epoch, res[0], &wt)
 		wt.flush()
 	} else {
 		fanOut(workers, len(res), func() (func(int), func()) {
 			wt := &workerTimer{tr: tr, base: tm.base}
-			return func(i int) { answers[i] = s.answer(entry, res[i], wt) }, wt.flush
+			return func(i int) { answers[i], cres[i] = s.answerCached(entry, epoch, res[i], wt) }, wt.flush
 		})
 	}
 	tm.skip()
@@ -420,18 +495,106 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 		if answers[i].ExpectedError != nil {
 			st.bounds++
 		}
+		switch cres[i] {
+		case cacheHit:
+			st.cacheHits++
+		case cacheMiss:
+			st.cacheMisses++
+		default:
+			st.cacheBypass++
+		}
 	}
 
-	resp := Response{
-		Registry:   entry.Name,
-		Backend:    entry.Backend.Name(),
-		Provenance: entry.Backend.Provenance(),
-		Answers:    answers,
-	}
 	setProvenance(w, entry)
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("X-Estimate-Cache", cacheVerdict(s.Cache, st))
+	switch codec {
+	case codecNDJSON:
+		writeNDJSON(w, answers)
+	case codecBinary:
+		writeWire(w, scr, entry.Name, entry.Backend.Name(), entry.Backend.Provenance(), answers)
+	default:
+		resp := Response{
+			Registry:   entry.Name,
+			Backend:    entry.Backend.Name(),
+			Provenance: entry.Backend.Provenance(),
+			Answers:    answers,
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
 	tm.mark(obs.StageEncode)
 	return st
+}
+
+// cacheVerdict summarizes a served request's answer-cache interaction
+// for the X-Estimate-Cache header: "bypass" when no cache is attached,
+// "hit" when every scenario was served from it, "miss" otherwise.
+func cacheVerdict(c *AnswerCache, st reqStats) string {
+	switch {
+	case c == nil:
+		return "bypass"
+	case st.cacheMisses == 0:
+		return "hit"
+	default:
+		return "miss"
+	}
+}
+
+// entryEpoch returns the answer-cache epoch id for one registry entry:
+// Entry.Epoch (backend + provenance) extended with this server's
+// fallback-methodology digest, interned to a small id (see epochID)
+// and memoized per entry.
+func (s *Server) entryEpoch(e *estimate.Entry) uint64 {
+	if ep, ok := s.epochs.Load(e); ok {
+		return ep.(uint64)
+	}
+	s.cfgOnce.Do(func() {
+		blob, err := json.Marshal(s.config())
+		if err != nil {
+			panic(fmt.Sprintf("serve: config digest: %v", err))
+		}
+		s.cfgDigest = string(blob)
+	})
+	ep := epochID(e.Epoch() + "\x00" + s.cfgDigest)
+	s.epochs.Store(e, ep)
+	return ep
+}
+
+// Answer-cache verdicts per scenario, accumulated into reqStats and
+// the serve_answer_cache_total{result} series.
+const (
+	cacheBypass uint8 = iota
+	cacheHit
+	cacheMiss
+)
+
+// answerCached serves one resolved scenario through the answer cache:
+// a finished answer is returned as-is, a cold key runs s.answer once
+// (single flight — concurrent requests for the same cold key wait and
+// share), and with no cache attached every scenario computes.
+func (s *Server) answerCached(entry *estimate.Entry, epoch uint64, rs resolved, wt *workerTimer) (Answer, uint8) {
+	if s.Cache == nil {
+		return s.answer(entry, rs, wt), cacheBypass
+	}
+	k := acKey{
+		eid: epoch, fp: estimate.CachedFingerprint(rs.mach),
+		op: rs.op, alg: rs.alg, p: rs.p, m: rs.m,
+	}
+	e, created := s.Cache.get(k)
+	if !created && e.done.Load() {
+		// The steady-state hit: the answer exists, so skip once.Do —
+		// building its closure would be the hit path's only allocation.
+		return e.ans, cacheHit
+	}
+	// Whoever wins the once computes; everyone blocks until the answer
+	// exists. The creator is the accounting miss either way.
+	e.once.Do(func() {
+		e.ans = s.answer(entry, rs, wt)
+		e.done.Store(true)
+	})
+	if created {
+		return e.ans, cacheMiss
+	}
+	return e.ans, cacheHit
 }
 
 // parseEstimateRequest accepts the three request shapes: a bare
@@ -463,39 +626,76 @@ func parseEstimateRequest(body []byte) (registry string, scns []Scenario, err er
 
 // resolve validates one scenario and binds its names.
 func (s *Server) resolve(sc Scenario) (resolved, error) {
-	mach, err := estimate.ResolveMachine(sc.Machine)
+	rs, err := s.resolveTriple(sc.Machine, sc.Op, sc.Algorithm)
 	if err != nil {
 		return resolved{}, err
 	}
-	op, err := estimate.ResolveOp(sc.Op)
+	if err := s.checkPM(&rs, sc.P, sc.M); err != nil {
+		return resolved{}, err
+	}
+	return rs, nil
+}
+
+// resolveTriple binds the name part of a scenario — machine, operation,
+// algorithm, and the algorithm table the estimate runs under —
+// memoized across requests (the triple space is small and fixed; see
+// Server.triples). The returned base shares its machine and algorithm
+// table between scenarios, which is safe: both are read-only after
+// construction.
+func (s *Server) resolveTriple(machName, opName, algName string) (resolved, error) {
+	k := tripleKey{machName, opName, algName}
+	s.triplesMu.RLock()
+	rs, ok := s.triples[k]
+	s.triplesMu.RUnlock()
+	if ok {
+		return rs, nil
+	}
+	mach, err := estimate.ResolveMachine(machName)
 	if err != nil {
 		return resolved{}, err
 	}
-	alg, err := estimate.ResolveAlgorithm(mach, op, sc.Algorithm)
+	op, err := estimate.ResolveOp(opName)
 	if err != nil {
 		return resolved{}, err
 	}
-	if sc.P < 2 {
-		return resolved{}, fmt.Errorf("p=%d: a collective needs at least 2 nodes", sc.P)
-	}
-	if sc.P > mach.MaxNodes() {
-		return resolved{}, fmt.Errorf("p=%d exceeds the %s's %d nodes", sc.P, mach.Name(), mach.MaxNodes())
-	}
-	m := sc.M
-	if op == machine.OpBarrier {
-		m = 0
-	}
-	if m < 0 {
-		return resolved{}, fmt.Errorf("negative message length m=%d", m)
-	}
-	if m > s.maxMessage() {
-		return resolved{}, fmt.Errorf("m=%d exceeds the service cap of %d bytes", m, s.maxMessage())
+	alg, err := estimate.ResolveAlgorithm(mach, op, algName)
+	if err != nil {
+		return resolved{}, err
 	}
 	algs := mpi.DefaultAlgorithms(mach)
 	if alg != sweepDefaultAlg {
 		algs = algs.With(op, alg)
 	}
-	return resolved{mach: mach, op: op, alg: alg, algs: algs, p: sc.P, m: m}, nil
+	rs = resolved{mach: mach, op: op, alg: alg, algs: algs}
+	s.triplesMu.Lock()
+	if s.triples == nil {
+		s.triples = make(map[tripleKey]resolved)
+	}
+	s.triples[k] = rs
+	s.triplesMu.Unlock()
+	return rs, nil
+}
+
+// checkPM validates and installs one scenario's (p, m) coordinates on a
+// name-resolved base.
+func (s *Server) checkPM(rs *resolved, p, m int) error {
+	if p < 2 {
+		return fmt.Errorf("p=%d: a collective needs at least 2 nodes", p)
+	}
+	if p > rs.mach.MaxNodes() {
+		return fmt.Errorf("p=%d exceeds the %s's %d nodes", p, rs.mach.Name(), rs.mach.MaxNodes())
+	}
+	if rs.op == machine.OpBarrier {
+		m = 0
+	}
+	if m < 0 {
+		return fmt.Errorf("negative message length m=%d", m)
+	}
+	if m > s.maxMessage() {
+		return fmt.Errorf("m=%d exceeds the service cap of %d bytes", m, s.maxMessage())
+	}
+	rs.p, rs.m = p, m
+	return nil
 }
 
 // sweepDefaultAlg mirrors sweep.DefaultAlgorithm without importing the
@@ -652,16 +852,20 @@ func fanOut(workers, n int, setup func() (fn func(i int), done func())) {
 }
 
 // writeJSON encodes v with the fixed two-space indentation the goldens
-// pin down.
+// pin down, through a pooled buffer (Encoder with SetIndent produces
+// byte-identical output to MarshalIndent plus the trailing newline).
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	blob, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
+	buf := getBuffer()
+	defer putBuffer(buf)
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(blob, '\n'))
+	w.Write(buf.Bytes())
 }
 
 // writeError emits the JSON error envelope every non-2xx response uses.

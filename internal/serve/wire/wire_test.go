@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLenRoundTrip drives AppendLen/ReadLen across the power-of-two
+// size-class thresholds, checking the value, the consumed byte count,
+// and that the encoder picked the shortest form.
+func TestLenRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		size int
+	}{
+		{0x00, 1}, {0x01, 1}, {0x3e, 1}, {0x3f, 1},
+		{0x40, 2}, {0x41, 2}, {0xfe, 2}, {0xff, 2}, {0x100, 2}, {0x101, 2},
+		{0x1ffe, 2}, {0x1fff, 2}, {0x2000, 2}, {0x2001, 2}, {0x3fff, 2},
+		{0x4000, 4}, {0x4001, 4},
+		{0xfffe, 4}, {0xffff, 4}, {0x10000, 4}, {0x10001, 4},
+		{0xffffe, 4}, {0xfffff, 4}, {0x100000, 4},
+		{0x3fffffff, 4},
+		{0x40000000, 9}, {0x40000001, 9},
+		{1 << 40, 9}, {math.MaxUint64 - 1, 9}, {math.MaxUint64, 9},
+	}
+	for _, tc := range cases {
+		enc := AppendLen(nil, tc.v)
+		if len(enc) != tc.size {
+			t.Fatalf("value %#x encoded to %d bytes, want %d", tc.v, len(enc), tc.size)
+		}
+		got, n, err := ReadLen(enc)
+		if err != nil {
+			t.Fatalf("value %#x: ReadLen error %v", tc.v, err)
+		}
+		if got != tc.v || n != len(enc) {
+			t.Fatalf("value %#x round-tripped to %#x (consumed %d of %d)", tc.v, got, n, len(enc))
+		}
+		// With trailing data present the reader must consume exactly the
+		// header.
+		got, n, err = ReadLen(append(enc, 0xAA, 0xBB))
+		if err != nil || got != tc.v || n != len(enc) {
+			t.Fatalf("value %#x with trailer: got %#x, n=%d, err=%v", tc.v, got, n, err)
+		}
+	}
+}
+
+// TestLenTruncated: every strict prefix of an encoded header errors
+// instead of misreading.
+func TestLenTruncated(t *testing.T) {
+	for _, v := range []uint64{0x40, 0x4000, 0x40000000, math.MaxUint64} {
+		enc := AppendLen(nil, v)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := ReadLen(enc[:cut]); err == nil {
+				t.Fatalf("value %#x truncated to %d bytes decoded without error", v, cut)
+			}
+		}
+	}
+	// Reserved tag bytes (11 with any low bit set) are rejected.
+	if _, _, err := ReadLen([]byte{0xC1, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("reserved tag byte decoded without error")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "x", "default", strings.Repeat("m", 0x3f),
+		strings.Repeat("m", 0x40), strings.Repeat("long", 1<<10)} {
+		enc := AppendString(nil, s)
+		got, n, err := ReadString(enc)
+		if err != nil || got != s || n != len(enc) {
+			t.Fatalf("string %q (len %d): got %q, n=%d of %d, err=%v", s[:min(8, len(s))], len(s), got, n, len(enc), err)
+		}
+	}
+	if _, _, err := ReadString(AppendString(nil, "hello")[:3]); err == nil {
+		t.Fatal("truncated string decoded without error")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 3.7500000000000004, 1e-300, math.MaxFloat64,
+		math.Inf(1), math.SmallestNonzeroFloat64} {
+		enc := AppendFloat(nil, f)
+		got, n, err := ReadFloat(enc)
+		if err != nil || n != 8 || math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("float %v: got %v (bits %#x vs %#x), err=%v",
+				f, got, math.Float64bits(got), math.Float64bits(f), err)
+		}
+	}
+	// NaN round-trips bit-exactly too.
+	nan := math.Float64frombits(0x7ff8000000000001)
+	got, _, _ := ReadFloat(AppendFloat(nil, nan))
+	if math.Float64bits(got) != math.Float64bits(nan) {
+		t.Fatal("NaN payload bits not preserved")
+	}
+}
+
+func sampleRequest() *Request {
+	return &Request{
+		Registry: "refit-default",
+		Table:    []string{"T3D", "broadcast", "", "SP2", "alltoall", "pairwise"},
+		Records: []Record{
+			{Mach: 0, Op: 1, Alg: 2, P: 8, M: 1024},
+			{Mach: 3, Op: 4, Alg: 5, P: 32, M: 0x4000}, // m crosses the 2-byte header threshold
+			{Mach: 0, Op: 1, Alg: 2, P: 64, M: 1 << 20},
+		},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	enc := req.Append(nil)
+	var dec Request
+	if err := dec.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Registry != req.Registry || len(dec.Table) != len(req.Table) || len(dec.Records) != len(req.Records) {
+		t.Fatalf("decoded %+v", dec)
+	}
+	for i := range req.Table {
+		if dec.Table[i] != req.Table[i] {
+			t.Fatalf("table[%d] = %q, want %q", i, dec.Table[i], req.Table[i])
+		}
+	}
+	for i := range req.Records {
+		if dec.Records[i] != req.Records[i] {
+			t.Fatalf("record[%d] = %+v, want %+v", i, dec.Records[i], req.Records[i])
+		}
+	}
+	// A pooled Request decodes a second frame reusing its slices.
+	second := &Request{Registry: "", Table: []string{"Paragon", "scan", "linear"},
+		Records: []Record{{Mach: 0, Op: 1, Alg: 2, P: 4, M: 16}}}
+	if err := dec.Decode(second.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Registry != "" || len(dec.Records) != 1 || dec.Table[0] != "Paragon" {
+		t.Fatalf("reused decode %+v", dec)
+	}
+}
+
+func TestRequestDecodeErrors(t *testing.T) {
+	enc := sampleRequest().Append(nil)
+	var dec Request
+	// Every strict prefix fails cleanly.
+	for cut := 0; cut < len(enc); cut++ {
+		if err := dec.Decode(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	// Trailing garbage is rejected, not ignored.
+	if err := dec.Decode(append(append([]byte{}, enc...), 0x00)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	// JSON posted as binary fails on the magic check.
+	if err := dec.Decode([]byte(`{"machine":"T3D"}`)); err != ErrMagic {
+		t.Fatalf("JSON body error %v, want ErrMagic", err)
+	}
+	// A record index past the table is rejected at decode time.
+	bad := &Request{Table: []string{"T3D"}, Records: []Record{{Mach: 1, Op: 0, Alg: 0, P: 8, M: 16}}}
+	if err := dec.Decode(bad.Append(nil)); err == nil || !strings.Contains(err.Error(), "table entry") {
+		t.Fatalf("out-of-table index error %v", err)
+	}
+}
+
+func sampleResponse() *Response {
+	return &Response{
+		Registry: "refit-default", Backend: "calibrated", Provenance: strings.Repeat("ab", 32),
+		Answers: []Answer{
+			{Micros: 123.456},
+			{Micros: 3.7500000000000004, HasBound: true,
+				Bound: Bound{RelMedian: 0.01, RelMax: 0.05, BasisM: 1024, Points: 4}},
+			{Micros: 9e5, HasBound: true,
+				Bound: Bound{RelMedian: 0.002, RelMax: 0.2, BasisM: 65536, Points: 8,
+					SegmentMMin: 4096, SegmentMMax: 262144}},
+			{Micros: 42, Fallback: true,
+				FallbackReason: "p=64 m=1 is outside the calibrated range; answered by the exact simulator"},
+		},
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := sampleResponse()
+	enc := resp.Append(nil)
+	var dec Response
+	if err := dec.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Registry != resp.Registry || dec.Backend != resp.Backend || dec.Provenance != resp.Provenance {
+		t.Fatalf("envelope %+v", dec)
+	}
+	if len(dec.Answers) != len(resp.Answers) {
+		t.Fatalf("%d answers, want %d", len(dec.Answers), len(resp.Answers))
+	}
+	for i := range resp.Answers {
+		want, got := resp.Answers[i], dec.Answers[i]
+		if math.Float64bits(got.Micros) != math.Float64bits(want.Micros) {
+			t.Fatalf("answer %d micros bits differ", i)
+		}
+		if got != want {
+			t.Fatalf("answer %d = %+v, want %+v", i, got, want)
+		}
+	}
+	// Incremental encoding (header + per-answer appends, the server's
+	// path) produces the same bytes as the whole-frame Append.
+	inc := AppendResponseHeader(nil, resp.Registry, resp.Backend, resp.Provenance, len(resp.Answers))
+	for _, a := range resp.Answers {
+		inc = AppendAnswer(inc, a)
+	}
+	if !bytes.Equal(inc, enc) {
+		t.Fatal("incremental and whole-frame encodings differ")
+	}
+}
+
+func TestResponseDecodeErrors(t *testing.T) {
+	enc := sampleResponse().Append(nil)
+	var dec Response
+	for cut := 0; cut < len(enc); cut++ {
+		if err := dec.Decode(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	if err := dec.Decode(append(append([]byte{}, enc...), 0xFF)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve/wire"
+)
+
+// postCT posts raw bytes with an explicit Content-Type.
+func postCT(t *testing.T, s *Server, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+const oneScenario = `{"machine":"T3D","op":"broadcast","p":8,"m":1024}`
+
+// TestContentTypeNegotiation: the JSON aliases (including curl -d's
+// form-urlencoded default and parameterized variants) keep answering,
+// and anything else is a 415 that lists the supported types.
+func TestContentTypeNegotiation(t *testing.T) {
+	s := testServer(t)
+	for _, ct := range []string{
+		"", // no Content-Type at all
+		"application/json",
+		"application/json; charset=utf-8",
+		"text/json",
+		"application/x-www-form-urlencoded", // curl -d
+	} {
+		if rec := postCT(t, s, ct, []byte(oneScenario)); rec.Code != http.StatusOK {
+			t.Errorf("Content-Type %q: status %d: %s", ct, rec.Code, rec.Body.String())
+		}
+	}
+	for _, ct := range []string{"application/xml", "text/plain", "multipart/form-data; boundary"} {
+		rec := postCT(t, s, ct, []byte(oneScenario))
+		if rec.Code != http.StatusUnsupportedMediaType {
+			t.Fatalf("Content-Type %q: status %d, want 415", ct, rec.Code)
+		}
+		if got := rec.Header().Get("Accept-Post"); got != acceptPost {
+			t.Fatalf("Accept-Post %q, want %q", got, acceptPost)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("non-JSON 415 body: %s", rec.Body.String())
+		}
+		if !strings.Contains(e.Error, wire.ContentType) {
+			t.Fatalf("415 error %q does not list the supported types", e.Error)
+		}
+	}
+}
+
+// TestWireDisabled: with the fast wire mode off, the binary and NDJSON
+// codecs 415 while JSON keeps serving.
+func TestWireDisabled(t *testing.T) {
+	s := testServer(t)
+	s.DisableWire = true
+	for _, ct := range []string{wire.ContentType, ctNDJSON} {
+		if rec := postCT(t, s, ct, []byte(oneScenario)); rec.Code != http.StatusUnsupportedMediaType {
+			t.Fatalf("Content-Type %q with wire disabled: status %d, want 415", ct, rec.Code)
+		}
+	}
+	if rec := postCT(t, s, ctJSON, []byte(oneScenario)); rec.Code != http.StatusOK {
+		t.Fatalf("JSON with wire disabled: status %d", rec.Code)
+	}
+}
+
+// TestNDJSONRoundTrip: line-delimited requests stream back one compact
+// answer per line, numerically identical to the JSON batch.
+func TestNDJSONRoundTrip(t *testing.T) {
+	s := testServer(t)
+	body := `{"machine":"T3D","op":"broadcast","p":8,"m":16}
+
+	{"machine":"T3D","op":"broadcast","p":8,"m":65536}
+`
+	rec := postCT(t, s, ctNDJSON, []byte(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ctNDJSON {
+		t.Fatalf("response Content-Type %q", ct)
+	}
+	var answers []Answer
+	for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		var a Answer
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatalf("decoding line %q: %v", line, err)
+		}
+		answers = append(answers, a)
+	}
+	want := decode(t, post(t, s,
+		`[{"machine":"T3D","op":"broadcast","p":8,"m":16},
+		  {"machine":"T3D","op":"broadcast","p":8,"m":65536}]`, ""))
+	if len(answers) != len(want.Answers) {
+		t.Fatalf("%d NDJSON answers, %d JSON answers", len(answers), len(want.Answers))
+	}
+	for i := range answers {
+		if answers[i].Micros != want.Answers[i].Micros || answers[i].Fallback != want.Answers[i].Fallback {
+			t.Fatalf("answer %d differs: NDJSON %+v vs JSON %+v", i, answers[i], want.Answers[i])
+		}
+	}
+
+	// A malformed line is a 400 naming the line.
+	bad := postCT(t, s, ctNDJSON, []byte("{\"machine\":\"T3D\",\"op\":\"broadcast\",\"p\":8,\"m\":16}\n{oops\n"))
+	if bad.Code != http.StatusBadRequest || !strings.Contains(bad.Body.String(), "line 2") {
+		t.Fatalf("bad line: status %d: %s", bad.Code, bad.Body.String())
+	}
+}
+
+// goldenWireRequest is the binary form of TestGoldenFixedRegistry's
+// batch: same five scenarios, names traveling once via the string
+// table.
+func goldenWireRequest() *wire.Request {
+	return &wire.Request{
+		Table: []string{"T3D", "broadcast", "", "SP2", "alltoall", "xor", "barrier", "hardware"},
+		Records: []wire.Record{
+			{Mach: 0, Op: 1, Alg: 2, P: 8, M: 16},
+			{Mach: 0, Op: 1, Alg: 2, P: 4, M: 300},
+			{Mach: 0, Op: 1, Alg: 2, P: 8, M: 65536},
+			{Mach: 3, Op: 4, Alg: 5, P: 4, M: 1024},
+			{Mach: 0, Op: 6, Alg: 7, P: 8, M: 0},
+		},
+	}
+}
+
+// TestGoldenWireMatchesJSON: the binary codec's answers are numerically
+// identical — bit for bit — to the pinned JSON golden for the same
+// batch. This is the cross-codec contract: switching a client to the
+// fast wire mode changes no numbers.
+func TestGoldenWireMatchesJSON(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "fixed_registry.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var golden Response
+	if err := json.Unmarshal(blob, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	s := testServer(t)
+	rec := postCT(t, s, wire.ContentType, goldenWireRequest().Append(nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("response Content-Type %q", ct)
+	}
+	var resp wire.Response
+	if err := resp.Decode(rec.Body.Bytes()); err != nil {
+		t.Fatalf("decoding response frame: %v", err)
+	}
+	if resp.Registry != golden.Registry || resp.Backend != golden.Backend || resp.Provenance != golden.Provenance {
+		t.Fatalf("envelope (%q, %q, %q) vs golden (%q, %q, %q)",
+			resp.Registry, resp.Backend, resp.Provenance,
+			golden.Registry, golden.Backend, golden.Provenance)
+	}
+	if len(resp.Answers) != len(golden.Answers) {
+		t.Fatalf("%d answers, golden has %d", len(resp.Answers), len(golden.Answers))
+	}
+	for i, a := range resp.Answers {
+		g := golden.Answers[i]
+		if a.Micros != g.Micros {
+			t.Errorf("answer %d micros %v, golden %v", i, a.Micros, g.Micros)
+		}
+		if a.Fallback != g.Fallback || a.FallbackReason != g.FallbackReason {
+			t.Errorf("answer %d fallback (%v, %q), golden (%v, %q)",
+				i, a.Fallback, a.FallbackReason, g.Fallback, g.FallbackReason)
+		}
+		if a.HasBound != (g.ExpectedError != nil) {
+			t.Fatalf("answer %d bound presence %v, golden %v", i, a.HasBound, g.ExpectedError != nil)
+		}
+		if a.HasBound {
+			want := wire.Bound{
+				RelMedian: g.ExpectedError.RelMedian, RelMax: g.ExpectedError.RelMax,
+				BasisM: g.ExpectedError.BasisM, Points: g.ExpectedError.Points,
+				SegmentMMin: g.ExpectedError.SegmentMMin, SegmentMMax: g.ExpectedError.SegmentMMax,
+			}
+			if a.Bound != want {
+				t.Errorf("answer %d bound %+v, golden %+v", i, a.Bound, want)
+			}
+		}
+	}
+}
+
+// TestWireRequestErrors: frame and scenario errors on the binary path
+// surface as the usual JSON 400 envelope.
+func TestWireRequestErrors(t *testing.T) {
+	s := testServer(t)
+	// JSON posted with the binary Content-Type fails on the magic check.
+	rec := postCT(t, s, wire.ContentType, []byte(oneScenario))
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "magic") {
+		t.Fatalf("JSON-as-binary: status %d: %s", rec.Code, rec.Body.String())
+	}
+	// An unknown machine in the string table names the failing record.
+	req := &wire.Request{
+		Table:   []string{"NX2", "broadcast", ""},
+		Records: []wire.Record{{Mach: 0, Op: 1, Alg: 2, P: 8, M: 16}},
+	}
+	rec = postCT(t, s, wire.ContentType, req.Append(nil))
+	if rec.Code != http.StatusBadRequest ||
+		!strings.Contains(rec.Body.String(), "scenario 0") ||
+		!strings.Contains(rec.Body.String(), "unknown machine") {
+		t.Fatalf("unknown machine: status %d: %s", rec.Code, rec.Body.String())
+	}
+	// The registry travels in the frame.
+	good := goldenWireRequest()
+	good.Registry = "paper"
+	rec = postCT(t, s, wire.ContentType, good.Append(nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("named registry: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Estimate-Registry"); got != "paper" {
+		t.Fatalf("X-Estimate-Registry %q, want paper", got)
+	}
+}
+
+// TestWireMetrics: serve_wire_requests_total counts requests by
+// negotiated codec, including 415s under none.
+func TestWireMetrics(t *testing.T) {
+	s := testServer(t)
+	instrument(s)
+	postCT(t, s, ctJSON, []byte(oneScenario))
+	postCT(t, s, ctNDJSON, []byte(oneScenario))
+	postCT(t, s, wire.ContentType, goldenWireRequest().Append(nil))
+	postCT(t, s, "application/xml", []byte(oneScenario)) // 415: no codec
+	vals := promValues(t, get(t, s, "/metrics").Body.String())
+	for series, want := range map[string]uint64{
+		`serve_wire_requests_total{codec="json"}`:   1,
+		`serve_wire_requests_total{codec="ndjson"}`: 1,
+		`serve_wire_requests_total{codec="binary"}`: 1,
+	} {
+		if got := vals[series]; got != want {
+			t.Errorf("%s = %d, want %d", series, got, want)
+		}
+	}
+}

@@ -36,6 +36,42 @@ for _ in 1 2 3; do
 done
 out+=$serve_out
 
+# Fast wire mode through a real socket: the binary codec single and
+# batched, cold and hot answer cache, plus the same-run JSON batch as
+# the comparator.
+wire_out=$(go test -run '^$' -bench 'BenchmarkServeWire' ./internal/serve)
+out+=$wire_out
+out+=$'\n'
+
+# Gate: the binary batched hot-cache path must either clear 1M
+# scenarios/s through the socket or beat the same-run JSON batch 5×.
+# The headline this gates on is printed either way.
+BENCH_WIRE="$wire_out" python3 - <<'EOF'
+import os, re, sys
+
+rates = {}
+for line in os.environ["BENCH_WIRE"].splitlines():
+    m = re.match(r"BenchmarkServeWire/(\S+?)(?:-\d+)?\s", line)
+    if not m:
+        continue
+    rate = re.search(r"([\d.]+) scenarios/s", line)
+    if not rate:
+        sys.exit(f"bench: no scenarios/s in line: {line}")
+    rates[m.group(1)] = float(rate.group(1))
+
+try:
+    hot = rates["binary-batch788-hot"]
+    json_cold = rates["json-batch788-cold"]
+except KeyError as missing:
+    sys.exit(f"bench: missing serve-wire variant {missing}")
+ratio = hot / json_cold
+verdict = "ok" if hot >= 1e6 or ratio >= 5.0 else "FAIL"
+print(f"bench: wire headline: binary batch788 hot {hot:,.0f} scenarios/s "
+      f"({ratio:.1f}x same-run JSON batch788) {verdict}", file=sys.stderr)
+if verdict == "FAIL":
+    sys.exit("bench: fast wire mode fell below 1M scenarios/s and below 5x the JSON path")
+EOF
+
 # Gate: metrics-enabled serving must stay within 5% of the plain warm
 # path. Verdict is the BEST paired obs/plain throughput ratio: real
 # instrumentation overhead depresses every pair, while host-load noise
