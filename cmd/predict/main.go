@@ -48,11 +48,17 @@ func main() {
 		codec     = flag.String("codec", "binary", `remote request codec: "binary" (fast wire mode) or "json"`)
 		repeat    = flag.Int("repeat", 1, "remote only: send the batch this many times (load generation)")
 		grid      = flag.Bool("grid", false, "remote only: send the full default sweep grid instead of one scenario per machine")
+		timeout   = flag.Duration("timeout", 0, "remote only: per-request timeout (0 = none)")
+		retries   = flag.Int("retries", 3, "remote only: retry budget per request for transient failures (connect errors, 5xx, 429)")
 	)
 	flag.Parse()
 
 	if *remote != "" {
-		os.Exit(runRemote(*remote, *registryF, *codec, *opName, *p, *m, *repeat, *grid))
+		os.Exit(runRemote(remoteOpts{
+			URL: *remote, Registry: *registryF, Codec: *codec, Op: *opName,
+			P: *p, M: *m, Repeat: *repeat, Grid: *grid,
+			Timeout: *timeout, Retries: *retries,
+		}))
 	}
 
 	reg, err := registry(*cacheDir)

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/estimate"
@@ -16,11 +18,26 @@ import (
 	"repro/internal/sweep"
 )
 
+// remoteOpts parameterizes one remote run — the scenario selection plus
+// the client's resilience knobs (timeout, retry budget).
+type remoteOpts struct {
+	URL, Registry, Codec, Op string
+	P, M, Repeat             int
+	Grid                     bool
+	Timeout                  time.Duration
+	Retries                  int
+}
+
 // runRemote asks a running cmd/serve instance instead of evaluating
 // locally — by default over the binary fast wire codec, making predict
 // double as the service's load generator: -repeat N replays the batch
-// over a kept-alive connection and reports scenarios/s.
-func runRemote(url, registryName, codec, opName string, p, m, repeat int, grid bool) int {
+// over a kept-alive connection and reports scenarios/s. Transient
+// failures (connect errors, 5xx, 429 with Retry-After) retry with
+// jittered exponential backoff up to the -retries budget, and the
+// summary reports how many retries the run spent.
+func runRemote(o remoteOpts) int {
+	url, registryName, codec, opName := o.URL, o.Registry, o.Codec, o.Op
+	p, m, repeat, grid := o.P, o.M, o.Repeat, o.Grid
 	var scns []serve.Scenario
 	if grid {
 		spec := sweep.Spec{
@@ -70,31 +87,26 @@ func runRemote(url, registryName, codec, opName string, p, m, repeat int, grid b
 		return 2
 	}
 
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 4},
+		Timeout:   o.Timeout,
+	}
 	endpoint := url + "/v1/estimate"
 	if repeat < 1 {
 		repeat = 1
 	}
 	var last []byte
 	var cacheHeader string
+	totalRetries := 0
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
-		resp, err := client.Post(endpoint, contentType, bytes.NewReader(body))
+		blob, cache, retried, err := postWithRetry(client, endpoint, contentType, body, o.Retries)
+		totalRetries += retried
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "predict:", err)
+			fmt.Fprintf(os.Stderr, "predict: %v (after %d retries)\n", err, retried)
 			return 1
 		}
-		blob, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "predict:", err)
-			return 1
-		}
-		if resp.StatusCode != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "predict: %s: %s\n", resp.Status, bytes.TrimSpace(blob))
-			return 1
-		}
-		last, cacheHeader = blob, resp.Header.Get("X-Estimate-Cache")
+		last, cacheHeader = blob, cache
 	}
 	elapsed := time.Since(start)
 
@@ -116,9 +128,73 @@ func runRemote(url, registryName, codec, opName string, p, m, repeat int, grid b
 		}
 	}
 	rate := float64(len(scns)*repeat) / elapsed.Seconds()
-	fmt.Printf("  %d requests × %d scenarios in %s  →  %.0f scenarios/s\n",
-		repeat, len(scns), elapsed.Round(time.Millisecond), rate)
+	fmt.Printf("  %d requests × %d scenarios in %s (%d retries)  →  %.0f scenarios/s\n",
+		repeat, len(scns), elapsed.Round(time.Millisecond), totalRetries, rate)
 	return 0
+}
+
+// postWithRetry sends one request, retrying transient failures —
+// connect/transport errors, 5xx, and 429 — with jittered exponential
+// backoff starting at 100ms and doubling per attempt. A 429's
+// Retry-After (seconds) is honored when it exceeds the computed
+// backoff, so a shedding server paces its own retries. Returns the
+// response body, the X-Estimate-Cache header, and the retries spent.
+func postWithRetry(client *http.Client, endpoint, contentType string, body []byte, retries int) ([]byte, string, int, error) {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		blob, cache, retryAfter, err := postOnce(client, endpoint, contentType, body)
+		if err == nil {
+			return blob, cache, attempt, nil
+		}
+		if attempt >= retries || !isTransient(err) {
+			return nil, "", attempt, err
+		}
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		time.Sleep(delay)
+		backoff *= 2
+	}
+}
+
+// httpStatusError is a non-200 response, kept as a typed error so the
+// retry loop can distinguish retriable statuses (5xx, 429) from
+// permanent ones (4xx).
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
+
+func isTransient(err error) bool {
+	if se, ok := err.(*httpStatusError); ok {
+		return se.code == http.StatusTooManyRequests || se.code >= 500
+	}
+	return true // transport-level: connect refused, reset, timeout
+}
+
+func postOnce(client *http.Client, endpoint, contentType string, body []byte) (blob []byte, cache string, retryAfter time.Duration, err error) {
+	resp, err := client.Post(endpoint, contentType, bytes.NewReader(body))
+	if err != nil {
+		return nil, "", 0, err
+	}
+	defer resp.Body.Close()
+	blob, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		if secs, e := strconv.Atoi(resp.Header.Get("Retry-After")); e == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, "", retryAfter, &httpStatusError{
+			code: resp.StatusCode,
+			msg:  fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(blob)),
+		}
+	}
+	return blob, resp.Header.Get("X-Estimate-Cache"), 0, nil
 }
 
 // encodeWire builds the binary request frame, interning each distinct

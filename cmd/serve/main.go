@@ -33,7 +33,18 @@
 // stage-latency histograms, GET /debug/vars the same registry as
 // expvar-style JSON; -log-level debug adds one structured access-log
 // line per request, and -pprof-addr starts an opt-in net/http/pprof
-// listener on a separate address.
+// listener on a separate address (its own mux — profiling is never
+// reachable through the serving address).
+//
+// Resilience: every request runs under a deadline (-request-timeout,
+// or per request via the X-Estimate-Deadline-Ms header); a deadline
+// that expires mid-simulation cancels the sim and answers degraded
+// from the closed forms (fallback_reason "degraded_deadline", no
+// bounds) instead of hanging. Admission control (-max-concurrent,
+// -max-queue) sheds overload with 429 + Retry-After before it queues
+// unboundedly. POST /v1/reload or SIGHUP atomically rebuilds the
+// registry from the sweep cache without dropping in-flight requests;
+// -chaos injects seeded faults into the fallback simulator for drills.
 package main
 
 import (
@@ -42,9 +53,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // registers on DefaultServeMux; exposed only via -pprof-addr
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -72,6 +84,14 @@ func run() int {
 		quiet     = flag.Bool("quiet", false, "suppress startup logging")
 		logLevel  = flag.String("log-level", "info", "structured log level (debug adds per-request access logs)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (off when empty)")
+		reqTimeo  = flag.Duration("request-timeout", 30*time.Second,
+			"per-request estimation deadline (0 disables; the X-Estimate-Deadline-Ms header overrides per request)")
+		maxConc = flag.Int("max-concurrent", 0,
+			"admission budget: requests estimating at once (0 = 2×GOMAXPROCS, negative disables admission control)")
+		maxQueue = flag.Int("max-queue", 128,
+			"admission queue beyond the concurrency budget; excess requests are shed with 429 + Retry-After")
+		chaos = flag.String("chaos", "",
+			`inject faults into the fallback simulator, e.g. "error=0.05,panic=0.01,latency=0.2:50ms,seed=7" (dev only)`)
 	)
 	flag.Parse()
 
@@ -81,12 +101,6 @@ func run() int {
 		return 2
 	}
 	logger := obs.NewLogger(os.Stderr, level)
-
-	cache, err := sweep.OpenCache(*cacheDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		return 1
-	}
 
 	// One metric registry spans every layer: the serve counters, the
 	// estimation layer's memo/expression series, and the sim kernel's
@@ -99,29 +113,69 @@ func run() int {
 	obsReg.CounterFunc("sim_kernel_wakeups_total",
 		"process wakeups scheduled by simulation kernels, process-wide", sim.KernelWakeups)
 
+	// makeRegistry builds the full serving registry from scratch —
+	// reopening the sweep cache so a reload picks up fits and error
+	// tables persisted since startup. The sample memo is shared across
+	// reloads: simulator measurements are methodology-keyed and a
+	// recalibration does not invalidate them.
 	memo := estimate.NewSampleMemo()
-	cfg := estimate.RegistryConfig{Memo: memo, Workers: *workers, Obs: obsReg}
-	if cache != nil {
-		cfg.Store = cache
+	makeRegistry := func() (*estimate.Registry, int, error) {
+		cache, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg := estimate.RegistryConfig{Memo: memo, Workers: *workers, Obs: obsReg}
+		if cache != nil {
+			cfg.Store = cache
+		}
+		r := estimate.StandardRegistry(cfg)
+		return r, sweep.AttachBounds(r, cache), nil
 	}
-	reg := estimate.StandardRegistry(cfg)
+	reg, nBounds, err := makeRegistry()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
 	entry, err := reg.Get(*registry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 2
 	}
-	if n := sweep.AttachBounds(reg, cache); !*quiet && cache != nil {
+	if !*quiet && *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "serve: %d of %d registry entries carry validated error bounds\n",
-			n, len(reg.Names()))
+			nBounds, len(reg.Names()))
 	}
 	if *warm {
 		warmUp(entry, *workers, *quiet)
 	}
 
+	// The fallback simulator, optionally wrapped in the fault injector.
+	// Chaos mode is a dev tool: the wrapper's provenance carries the
+	// fault spec, so its answers never share cache entries with clean
+	// runs.
+	var fallback estimate.Backend = estimate.Sim{Memo: memo}
+	if *chaos != "" {
+		fb, err := estimate.ParseFaultSpec(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: -chaos:", err)
+			return 2
+		}
+		fb.Inner = fallback
+		fallback = &fb
+		fmt.Fprintf(os.Stderr, "serve: CHAOS MODE: %s\n", fallback.Provenance())
+	}
+
+	concurrent := *maxConc
+	if concurrent == 0 {
+		concurrent = 2 * runtime.GOMAXPROCS(0)
+	}
 	server := &serve.Server{
 		Registry:    reg,
 		Default:     *registry,
-		Sim:         estimate.Sim{Memo: memo},
+		Sim:         fallback,
+		Timeout:     *reqTimeo,
+		Gate:        serve.NewGate(concurrent, *maxQueue),
+		Reloader:    func() (*estimate.Registry, error) { r, _, err := makeRegistry(); return r, err },
 		Workers:     *workers,
 		Obs:         metrics,
 		Logger:      logger,
@@ -129,9 +183,17 @@ func run() int {
 		DisableWire: !*wireMode,
 	}
 	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the profiling
+		// handlers are never reachable through the serving address, and
+		// the serving mux never inherits DefaultServeMux registrations.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			// nil handler = DefaultServeMux, where net/http/pprof lives.
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
 				fmt.Fprintln(os.Stderr, "serve: pprof:", err)
 			}
 		}()
@@ -143,7 +205,24 @@ func run() int {
 		Addr:              *addr,
 		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
+
+	// SIGHUP hot-reloads the registry without dropping a request: the
+	// old registry serves until the new one is fully built, and the
+	// answer cache self-invalidates through per-entry epochs.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if err := server.ReloadRegistry(); err != nil {
+				logger.Error("registry reload failed", obs.F("error", err.Error()))
+			} else {
+				logger.Info("registry reloaded", obs.F("default", *registry))
+			}
+		}
+	}()
 
 	// SIGINT/SIGTERM drain in-flight requests before exiting, so a
 	// deploy never truncates a half-answered batch.

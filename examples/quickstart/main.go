@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/estimate"
@@ -61,8 +62,14 @@ func main() {
 	// analytic backend evaluates the paper's Table 3 expression in
 	// closed form, no simulation at all.
 	algs := mpi.DefaultAlgorithms(mach)
-	measured := estimate.Sim{}.Estimate(mach, machine.OpAlltoall, algs, 16, 1024, measure.Paper())
-	predicted := estimate.PaperAnalytic().Estimate(mach, machine.OpAlltoall, algs, 16, 1024, measure.Paper())
+	measured, err := estimate.Sim{}.Estimate(context.Background(), mach, machine.OpAlltoall, algs, 16, 1024, measure.Paper())
+	if err != nil {
+		panic(err)
+	}
+	predicted, err := estimate.PaperAnalytic().Estimate(context.Background(), mach, machine.OpAlltoall, algs, 16, 1024, measure.Paper())
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("paper procedure (sim backend):      T(1KB, 16) = %.1f µs for the T3D total exchange\n",
 		measured.Sample.Micros)
 	fmt.Printf("Table 3 fit (analytic backend):     T(1KB, 16) = %.1f µs — predicted without simulating\n",

@@ -1,6 +1,8 @@
 package estimate
 
 import (
+	"context"
+
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/model"
@@ -55,10 +57,11 @@ func (a *Analytic) Covers(mach string, op machine.Op) bool {
 }
 
 // Estimate evaluates T(m, p) in closed form. All Sample statistics
-// carry the single predicted value, and cfg is ignored.
-func (a *Analytic) Estimate(mach *machine.Machine, op machine.Op, _ mpi.Algorithms, p, m int, _ measure.Config) Estimate {
+// carry the single predicted value; ctx and cfg are ignored (the
+// evaluation is instant) and the error is always nil.
+func (a *Analytic) Estimate(_ context.Context, mach *machine.Machine, op machine.Op, _ mpi.Algorithms, p, m int, _ measure.Config) (Estimate, error) {
 	t := a.pr.Time(mach.Name(), op, m, p)
-	return closedForm(BackendAnalytic, mach.Name(), op, p, m, t)
+	return closedForm(BackendAnalytic, mach.Name(), op, p, m, t), nil
 }
 
 // closedForm builds the Estimate of a deterministic prediction.

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -257,13 +258,17 @@ func (c *Calibrated) planner() Planner {
 
 // Estimate serves (op, algs, p, m) on mach from the triple's fitted
 // expression, calibrating it first if this is the triple's first use.
-func (c *Calibrated) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, _ measure.Config) Estimate {
+// ctx is deliberately ignored: a calibration is a shared once-per-triple
+// computation (calEntry.once), and letting one request's deadline abort
+// it would poison the entry for every later request sharing the triple.
+// The error is always nil.
+func (c *Calibrated) Estimate(_ context.Context, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, _ measure.Config) (Estimate, error) {
 	e := c.Expression(mach, op, algs.Get(op))
 	// Predict clamps small negative fitted per-byte terms (non-physical
 	// outside the calibrated range) and dispatches piecewise fits to the
 	// segment covering m, exactly like model.Predictor.Time.
 	t := e.Predict(m, p)
-	return closedForm(BackendCalibrated, mach.Name(), op, p, m, t)
+	return closedForm(BackendCalibrated, mach.Name(), op, p, m, t), nil
 }
 
 // Expression returns the fitted expression for one (machine, op,

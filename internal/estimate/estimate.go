@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -41,8 +42,13 @@ type Backend interface {
 	Provenance() string
 	// Estimate returns the time of one collective: op over algs on p
 	// nodes of mach with m bytes per pair, under methodology cfg
-	// (closed-form backends ignore cfg — their answer is exact).
-	Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate
+	// (closed-form backends ignore cfg — their answer is exact). ctx
+	// bounds backends that simulate: the Sim backend aborts its
+	// event-loop drive when ctx cancels and returns ctx's error, so a
+	// serving deadline never pins a worker behind an unbounded
+	// simulation. Closed-form backends ignore ctx and never error;
+	// fault-injection wrappers (FaultBackend) may return ErrInjected.
+	Estimate(ctx context.Context, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) (Estimate, error)
 }
 
 // Fingerprint hashes a machine's full calibration-constant set (network
@@ -117,7 +123,11 @@ func Compare(b Backend, machines []string, op machine.Op, p, m int, cfg measure.
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, b.Estimate(mach, op, mpi.DefaultAlgorithms(mach), p, m, cfg))
+		est, err := b.Estimate(context.Background(), mach, op, mpi.DefaultAlgorithms(mach), p, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -16,11 +17,22 @@ import (
 // tinyCfg keeps backend tests fast while preserving the methodology.
 var tinyCfg = measure.Config{Warmup: 1, K: 2, Reps: 1, Seed: 3}
 
+// est estimates under a background context, panicking on error: no
+// backend under test errors without a cancellable ctx, and panicking
+// (rather than t.Fatal) keeps the helper legal inside goroutines.
+func est(b Backend, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate {
+	e, err := b.Estimate(context.Background(), mach, op, algs, p, m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 func TestSimMatchesMeasure(t *testing.T) {
 	mach := machine.T3D()
 	algs := mpi.DefaultAlgorithms(mach)
 	want := measure.MeasureOpWith(mach, machine.OpBroadcast, 8, 1024, tinyCfg, algs)
-	got := Sim{}.Estimate(mach, machine.OpBroadcast, algs, 8, 1024, tinyCfg)
+	got := est(Sim{}, mach, machine.OpBroadcast, algs, 8, 1024, tinyCfg)
 	if got.Sample != want {
 		t.Fatalf("sim backend = %+v, measure says %+v", got.Sample, want)
 	}
@@ -32,7 +44,7 @@ func TestSimMatchesMeasure(t *testing.T) {
 func TestAnalyticMatchesModel(t *testing.T) {
 	a := PaperAnalytic()
 	mach := machine.SP2()
-	got := a.Estimate(mach, machine.OpAlltoall, mpi.DefaultAlgorithms(mach), 64, 512, tinyCfg)
+	got := est(a, mach, machine.OpAlltoall, mpi.DefaultAlgorithms(mach), 64, 512, tinyCfg)
 	want := model.FromPaper().Time("SP2", machine.OpAlltoall, 512, 64)
 	if got.Sample.Micros != want {
 		t.Fatalf("analytic = %v, model = %v", got.Sample.Micros, want)
@@ -76,8 +88,8 @@ func TestCalibratedRoundTrip(t *testing.T) {
 		d := BuildDataset(mach, op, algs, sizes, lengths, tinyCfg)
 		var errs []float64
 		for _, pt := range d.Points {
-			est := cal.Estimate(mach, op, algs, pt.P, pt.M, tinyCfg)
-			re := (est.Sample.Micros - pt.Micros) / pt.Micros
+			e := est(cal, mach, op, algs, pt.P, pt.M, tinyCfg)
+			re := (e.Sample.Micros - pt.Micros) / pt.Micros
 			if re < 0 {
 				re = -re
 			}
@@ -106,7 +118,7 @@ func TestCalibratedBarrierStartupOnly(t *testing.T) {
 	if !e.StartupOnly() {
 		t.Fatalf("barrier expression has a per-byte term: %s", e)
 	}
-	got := cal.Estimate(mach, machine.OpBarrier, mpi.DefaultAlgorithms(mach), 16, 0, tinyCfg)
+	got := est(cal, mach, machine.OpBarrier, mpi.DefaultAlgorithms(mach), 16, 0, tinyCfg)
 	want := measure.MeasureOp(mach, machine.OpBarrier, 16, 0, tinyCfg).Micros
 	re := (got.Sample.Micros - want) / want
 	if re < 0 {
@@ -123,8 +135,8 @@ func TestCalibratedDistinguishesAlgorithms(t *testing.T) {
 	mach := machine.SP2()
 	cal := &Calibrated{Config: tinyCfg, Sizes: []int{4, 16}, Lengths: []int{4, 4096}}
 	base := mpi.DefaultAlgorithms(mach)
-	pairwise := cal.Estimate(mach, machine.OpAlltoall, base.With(machine.OpAlltoall, "pairwise"), 16, 4096, tinyCfg)
-	linear := cal.Estimate(mach, machine.OpAlltoall, base.With(machine.OpAlltoall, "linear"), 16, 4096, tinyCfg)
+	pairwise := est(cal, mach, machine.OpAlltoall, base.With(machine.OpAlltoall, "pairwise"), 16, 4096, tinyCfg)
+	linear := est(cal, mach, machine.OpAlltoall, base.With(machine.OpAlltoall, "linear"), 16, 4096, tinyCfg)
 	if pairwise.Sample.Micros == linear.Sample.Micros {
 		t.Fatal("calibrated backend conflated two alltoall variants")
 	}
@@ -170,12 +182,12 @@ func TestCalibratedPersistsThroughStore(t *testing.T) {
 		return &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 1024}, Store: store}
 	}
 
-	a := mk().Estimate(mach, machine.OpGather, algs, 4, 1024, tinyCfg)
+	a := est(mk(), mach, machine.OpGather, algs, 4, 1024, tinyCfg)
 	if store.puts != 1 {
 		t.Fatalf("first calibration stored %d expressions, want 1", store.puts)
 	}
 
-	b := mk().Estimate(mach, machine.OpGather, algs, 4, 1024, tinyCfg)
+	b := est(mk(), mach, machine.OpGather, algs, 4, 1024, tinyCfg)
 	if store.hits != 1 {
 		t.Fatalf("second instance did not load the persisted fit (hits=%d)", store.hits)
 	}
@@ -187,8 +199,8 @@ func TestCalibratedPersistsThroughStore(t *testing.T) {
 	}
 
 	// A different calibration spec must not hit the stored entry.
-	third := Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 4096}, Store: store}
-	third.Estimate(mach, machine.OpGather, algs, 4, 1024, tinyCfg)
+	third := &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 4096}, Store: store}
+	est(third, mach, machine.OpGather, algs, 4, 1024, tinyCfg)
 	if store.puts != 2 {
 		t.Fatal("changed calibration spec reused the old stored expression")
 	}
@@ -208,7 +220,7 @@ func TestCalibratedConcurrentCallersShareOneCalibration(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = cal.Estimate(mach, machine.OpScan, algs, 4, 256, tinyCfg).Sample.Micros
+			results[i] = est(cal, mach, machine.OpScan, algs, 4, 256, tinyCfg).Sample.Micros
 		}(i)
 	}
 	wg.Wait()

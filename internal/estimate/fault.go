@@ -1,0 +1,156 @@
+package estimate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// ErrInjected marks an error produced by a FaultBackend rather than by
+// the wrapped backend; tests and the chaos soak assert on it with
+// errors.Is.
+var ErrInjected = errors.New("estimate: injected fault")
+
+// FaultBackend wraps a Backend and injects faults — added latency,
+// errors, and panics — per scenario by seeded probability. It exists to
+// prove the serving stack's resilience machinery (deadline degradation,
+// panic recovery, error accounting) under reproducible chaos: the draw
+// for a given scenario depends only on (Seed, machine, op, p, m), so a
+// test or soak run replays the exact same fault schedule every time,
+// and a scenario that errors keeps erroring until the seed changes.
+//
+// The zero probabilities make the wrapper transparent. Faults are
+// evaluated in order latency → error → panic, each with an independent
+// draw, so a scenario can be both slowed and failed.
+type FaultBackend struct {
+	Inner Backend
+	Seed  int64
+
+	// LatencyProb is the probability a scenario sleeps Latency before
+	// being estimated. The sleep honors ctx: a deadline that expires
+	// mid-sleep returns ctx's error, exercising the degraded path.
+	LatencyProb float64
+	Latency     time.Duration
+
+	// ErrorProb is the probability a scenario returns ErrInjected.
+	ErrorProb float64
+
+	// PanicProb is the probability a scenario panics, exercising the
+	// serving stack's recovery middleware.
+	PanicProb float64
+}
+
+// Name delegates to the wrapped backend: a fault-injected estimate that
+// does come through is the inner backend's answer.
+func (f *FaultBackend) Name() string { return f.Inner.Name() }
+
+// Provenance is the inner provenance plus a chaos suffix, so answers
+// produced under fault injection never share cache keys with clean ones.
+func (f *FaultBackend) Provenance() string {
+	return fmt.Sprintf("%s+chaos(seed=%d,l=%g:%s,e=%g,p=%g)",
+		f.Inner.Provenance(), f.Seed, f.LatencyProb, f.Latency, f.ErrorProb, f.PanicProb)
+}
+
+// Estimate draws the scenario's fault schedule and then delegates.
+func (f *FaultBackend) Estimate(ctx context.Context, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) (Estimate, error) {
+	rng := f.scenarioRand(mach.Name(), op, p, m)
+	if f.LatencyProb > 0 && rng.Float64() < f.LatencyProb {
+		t := time.NewTimer(f.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return Estimate{}, ctx.Err()
+		}
+	}
+	if f.ErrorProb > 0 && rng.Float64() < f.ErrorProb {
+		return Estimate{}, fmt.Errorf("%w: %s %s p=%d m=%d", ErrInjected, mach.Name(), op, p, m)
+	}
+	if f.PanicProb > 0 && rng.Float64() < f.PanicProb {
+		panic(fmt.Sprintf("chaos: injected panic for %s %s p=%d m=%d", mach.Name(), op, p, m))
+	}
+	return f.Inner.Estimate(ctx, mach, op, algs, p, m, cfg)
+}
+
+// scenarioRand returns a deterministic source for one scenario's draws:
+// FNV-1a over the seed and scenario identity seeds a private rand, so
+// fault decisions are reproducible and independent of request order.
+func (f *FaultBackend) scenarioRand(mach string, op machine.Op, p, m int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%d", f.Seed, mach, op, p, m)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// ParseFaultSpec parses the -chaos flag's comma-separated spec, e.g.
+//
+//	error=0.05,panic=0.01,latency=0.2:50ms,seed=7
+//
+// Keys: error=<prob>, panic=<prob>, latency=<prob>:<duration>, and
+// seed=<int64>. Probabilities must lie in [0, 1]. An empty spec returns
+// a transparent wrapper config (all probabilities zero).
+func ParseFaultSpec(spec string) (FaultBackend, error) {
+	var f FaultBackend
+	if spec == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return f, fmt.Errorf("estimate: fault spec %q: want key=value", part)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("estimate: fault spec seed %q: %v", val, err)
+			}
+			f.Seed = n
+		case "error":
+			p, err := parseProb(val)
+			if err != nil {
+				return f, fmt.Errorf("estimate: fault spec error: %v", err)
+			}
+			f.ErrorProb = p
+		case "panic":
+			p, err := parseProb(val)
+			if err != nil {
+				return f, fmt.Errorf("estimate: fault spec panic: %v", err)
+			}
+			f.PanicProb = p
+		case "latency":
+			probStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return f, fmt.Errorf("estimate: fault spec latency %q: want prob:duration", val)
+			}
+			p, err := parseProb(probStr)
+			if err != nil {
+				return f, fmt.Errorf("estimate: fault spec latency: %v", err)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return f, fmt.Errorf("estimate: fault spec latency duration %q invalid", durStr)
+			}
+			f.LatencyProb, f.Latency = p, d
+		default:
+			return f, fmt.Errorf("estimate: fault spec: unknown key %q", key)
+		}
+	}
+	return f, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %q not in [0, 1]", s)
+	}
+	return p, nil
+}

@@ -1,0 +1,193 @@
+package estimate
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/mpi"
+)
+
+// faultFixture wraps the paper analytic — instant, deterministic — so
+// fault tests measure only the injector.
+func faultFixture(f FaultBackend) *FaultBackend {
+	f.Inner = PaperAnalytic()
+	return &f
+}
+
+// TestFaultBackendTransparentAtZero: zero probabilities delegate
+// untouched — same estimate, no error, inner name.
+func TestFaultBackendTransparentAtZero(t *testing.T) {
+	fb := faultFixture(FaultBackend{Seed: 1})
+	mach := machine.SP2()
+	algs := mpi.DefaultAlgorithms(mach)
+	cfg := measure.Fast()
+	got, err := fb.Estimate(context.Background(), mach, machine.OpAlltoall, algs, 8, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fb.Inner.Estimate(context.Background(), mach, machine.OpAlltoall, algs, 8, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("transparent wrapper changed the estimate: %+v vs %+v", got, want)
+	}
+	if fb.Name() != fb.Inner.Name() {
+		t.Fatalf("Name() = %q, want inner %q", fb.Name(), fb.Inner.Name())
+	}
+}
+
+// TestFaultBackendDeterministicPerScenario: the fault schedule depends
+// only on (seed, scenario) — replays agree call by call, scenario
+// draws are independent of request order, and a different seed yields
+// a different schedule.
+func TestFaultBackendDeterministicPerScenario(t *testing.T) {
+	mach := machine.T3D()
+	algs := mpi.DefaultAlgorithms(mach)
+	cfg := measure.Fast()
+	outcome := func(fb *FaultBackend, m int) string {
+		defer func() { recover() }() // panics are one of the outcomes
+		_, err := fb.Estimate(context.Background(), mach, machine.OpBroadcast, algs, 8, m, cfg)
+		if err != nil {
+			return "error"
+		}
+		return "ok"
+	}
+	schedule := func(seed int64, ms []int) []string {
+		fb := faultFixture(FaultBackend{Seed: seed, ErrorProb: 0.4, PanicProb: 0.2})
+		var out []string
+		for _, m := range ms {
+			out = append(out, outcome(fb, m))
+		}
+		return out
+	}
+	ms := []int{16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+	a := schedule(7, ms)
+	b := schedule(7, ms)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at m=%d: %v vs %v", ms[i], a, b)
+		}
+	}
+	// Reversed request order: same per-scenario outcomes.
+	rev := make([]int, len(ms))
+	for i, m := range ms {
+		rev[len(ms)-1-i] = m
+	}
+	c := schedule(7, rev)
+	for i := range c {
+		if c[i] != a[len(ms)-1-i] {
+			t.Fatalf("order dependence at m=%d: %q vs %q", rev[i], c[i], a[len(ms)-1-i])
+		}
+	}
+	// A new seed reshuffles at least one outcome across this many draws.
+	d := schedule(8, ms)
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seed change produced an identical schedule: %v", a)
+	}
+}
+
+// TestFaultBackendInjectedError: an injected error is ErrInjected and
+// names the scenario.
+func TestFaultBackendInjectedError(t *testing.T) {
+	fb := faultFixture(FaultBackend{Seed: 1, ErrorProb: 1})
+	mach := machine.SP2()
+	_, err := fb.Estimate(context.Background(), mach, machine.OpScatter,
+		mpi.DefaultAlgorithms(mach), 16, 512, measure.Fast())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "SP2") || !strings.Contains(err.Error(), "scatter") {
+		t.Fatalf("error %q does not name the scenario", err)
+	}
+}
+
+// TestFaultBackendInjectedPanic: PanicProb=1 always panics.
+func TestFaultBackendInjectedPanic(t *testing.T) {
+	fb := faultFixture(FaultBackend{Seed: 1, PanicProb: 1})
+	mach := machine.T3D()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicProb=1 did not panic")
+		}
+	}()
+	fb.Estimate(context.Background(), mach, machine.OpBroadcast,
+		mpi.DefaultAlgorithms(mach), 8, 64, measure.Fast())
+}
+
+// TestFaultBackendLatencyHonorsContext: an injected sleep longer than
+// the deadline returns the context's error promptly instead of
+// sleeping it out.
+func TestFaultBackendLatencyHonorsContext(t *testing.T) {
+	fb := faultFixture(FaultBackend{Seed: 1, LatencyProb: 1, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	mach := machine.Paragon()
+	start := time.Now()
+	_, err := fb.Estimate(ctx, mach, machine.OpGather,
+		mpi.DefaultAlgorithms(mach), 8, 64, measure.Fast())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("latency injection ignored the deadline: took %s", elapsed)
+	}
+}
+
+// TestFaultBackendProvenanceCarriesSpec: chaos answers must never share
+// cache keys with clean ones — the provenance embeds the fault config.
+func TestFaultBackendProvenanceCarriesSpec(t *testing.T) {
+	a := faultFixture(FaultBackend{Seed: 1, ErrorProb: 0.5})
+	b := faultFixture(FaultBackend{Seed: 2, ErrorProb: 0.5})
+	if a.Provenance() == a.Inner.Provenance() {
+		t.Fatal("chaos provenance equals clean provenance")
+	}
+	if a.Provenance() == b.Provenance() {
+		t.Fatal("different seeds share a provenance")
+	}
+	if !strings.Contains(a.Provenance(), "chaos") {
+		t.Fatalf("provenance %q does not mark chaos", a.Provenance())
+	}
+}
+
+// TestParseFaultSpec: the -chaos flag grammar round-trips into the
+// struct, and malformed specs are rejected.
+func TestParseFaultSpec(t *testing.T) {
+	f, err := ParseFaultSpec("error=0.05,panic=0.01,latency=0.2:50ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultBackend{Seed: 7, LatencyProb: 0.2, Latency: 50 * time.Millisecond,
+		ErrorProb: 0.05, PanicProb: 0.01}
+	if f != want {
+		t.Fatalf("parsed %+v, want %+v", f, want)
+	}
+	if f, err := ParseFaultSpec(""); err != nil || f != (FaultBackend{}) {
+		t.Fatalf("empty spec: %+v, %v", f, err)
+	}
+	for _, bad := range []string{
+		"error=1.5",        // probability out of range
+		"error=-0.1",       // negative probability
+		"latency=0.5",      // missing duration
+		"latency=0.5:-3ms", // negative duration
+		"latency=0.5:x",    // unparseable duration
+		"frobnicate=1",     // unknown key
+		"error",            // no value
+		"seed=nine",        // non-integer seed
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}

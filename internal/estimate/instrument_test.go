@@ -28,7 +28,7 @@ func TestInstrumentCountsMemoAndExpressions(t *testing.T) {
 
 	mach := machine.T3D()
 	algs := mpi.DefaultAlgorithms(mach)
-	cal.Estimate(mach, machine.OpBroadcast, algs, 4, 256, tinyCfg)
+	est(cal, mach, machine.OpBroadcast, algs, 4, 256, tinyCfg)
 
 	if got := counterValue(reg, "estimate_memo_total", "result", "miss"); got != 4 {
 		t.Fatalf("memo misses %d, want one per 2×2 grid cell", got)
@@ -42,7 +42,7 @@ func TestInstrumentCountsMemoAndExpressions(t *testing.T) {
 
 	// A second estimate of the same triple reuses the in-memory fit:
 	// nothing new is measured or calibrated.
-	cal.Estimate(mach, machine.OpBroadcast, algs, 2, 4, tinyCfg)
+	est(cal, mach, machine.OpBroadcast, algs, 2, 4, tinyCfg)
 	if got := counterValue(reg, "estimate_memo_total", "result", "miss"); got != 4 {
 		t.Fatalf("memo misses %d after a warm estimate, want 4", got)
 	}
@@ -54,7 +54,7 @@ func TestInstrumentCountsMemoAndExpressions(t *testing.T) {
 	// re-measuring — one store hit, still one refit.
 	cal2 := &Calibrated{Config: tinyCfg, Sizes: []int{2, 4}, Lengths: []int{4, 256}, Store: store}
 	Instrument(reg, nil, cal2)
-	cal2.Estimate(mach, machine.OpBroadcast, algs, 4, 256, tinyCfg)
+	est(cal2, mach, machine.OpBroadcast, algs, 4, 256, tinyCfg)
 	if got := counterValue(reg, "estimate_expressions_total", "source", "store"); got != 1 {
 		t.Fatalf("store hits %d, want 1", got)
 	}

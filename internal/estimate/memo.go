@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/fit"
@@ -47,6 +48,7 @@ type sampleKey struct {
 type sampleEntry struct {
 	once   sync.Once
 	sample measure.Sample
+	err    error // non-nil: the measuring request's ctx canceled mid-run
 }
 
 // NewSampleMemo returns an empty memo.
@@ -79,8 +81,22 @@ func (mo *SampleMemo) Len() int {
 // Measure returns the §2 measurement of one configuration, running the
 // simulation only if no identical measurement is memoized or in flight.
 func (mo *SampleMemo) Measure(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) measure.Sample {
+	s, err := mo.MeasureCtx(context.Background(), mach, op, algs, p, m, cfg)
+	if err != nil {
+		// Background never cancels, and that is the only error path.
+		panic("estimate: memo measure: " + err.Error())
+	}
+	return s
+}
+
+// MeasureCtx is Measure under a cancellable context. In-flight
+// duplicates still coalesce onto one simulation; if the measuring
+// request's ctx cancels mid-run, every waiter sharing that entry gets
+// the same error and the entry is discarded, so a later request retries
+// the measurement instead of being served a poisoned cache slot.
+func (mo *SampleMemo) MeasureCtx(ctx context.Context, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) (measure.Sample, error) {
 	if mo == nil {
-		return measure.MeasureOpWith(mach, op, p, m, cfg, algs)
+		return measure.MeasureOpCtx(ctx, mach, op, p, m, cfg, algs)
 	}
 	mo.mu.Lock()
 	print, ok := mo.prints[mach]
@@ -103,9 +119,18 @@ func (mo *SampleMemo) Measure(mach *machine.Machine, op machine.Op, algs mpi.Alg
 		mo.misses.Inc()
 	}
 	e.once.Do(func() {
-		e.sample = measure.MeasureOpWith(mach, op, p, m, cfg, algs)
+		e.sample, e.err = measure.MeasureOpCtx(ctx, mach, op, p, m, cfg, algs)
+		if e.err != nil {
+			// Forget the failed entry (only if it is still the one
+			// mapped — a retry may already have replaced it).
+			mo.mu.Lock()
+			if mo.entries[key] == e {
+				delete(mo.entries, key)
+			}
+			mo.mu.Unlock()
+		}
 	})
-	return e.sample
+	return e.sample, e.err
 }
 
 // Dataset measures op across machine sizes and message lengths through

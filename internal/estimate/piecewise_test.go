@@ -108,8 +108,8 @@ func TestPiecewisePinsWorstMidLengthCells(t *testing.T) {
 
 	relErr := func(c *Calibrated, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int) float64 {
 		sim := memo.Measure(mach, op, algs, p, m, cfg).Micros
-		est := c.Estimate(mach, op, algs, p, m, cfg).Sample.Micros
-		re := (est - sim) / sim
+		pred := est(c, mach, op, algs, p, m, cfg).Sample.Micros
+		re := (pred - sim) / sim
 		if re < 0 {
 			re = -re
 		}

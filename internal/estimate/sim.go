@@ -1,6 +1,8 @@
 package estimate
 
 import (
+	"context"
+
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/mpi"
@@ -31,11 +33,13 @@ func (Sim) Name() string { return BackendSim }
 // (the memo only dedups identical runs).
 func (Sim) Provenance() string { return "" }
 
-// Estimate measures the collective with measure.MeasureOpWith, through
-// the memo when one is attached.
-func (s Sim) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) Estimate {
-	return Estimate{
-		Sample:  s.Memo.Measure(mach, op, algs, p, m, cfg),
-		Backend: BackendSim,
+// Estimate measures the collective with measure.MeasureOpCtx, through
+// the memo when one is attached. A ctx cancellation aborts the
+// simulation at an event-loop drive boundary and returns ctx's error.
+func (s Sim) Estimate(ctx context.Context, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) (Estimate, error) {
+	sample, err := s.Memo.MeasureCtx(ctx, mach, op, algs, p, m, cfg)
+	if err != nil {
+		return Estimate{}, err
 	}
+	return Estimate{Sample: sample, Backend: BackendSim}, nil
 }

@@ -1,0 +1,78 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestMeasureOpCtxBackgroundIdentical: a never-cancelling context
+// measures byte-identically to the uncontexted path — the probe is
+// free when unused.
+func TestMeasureOpCtxBackgroundIdentical(t *testing.T) {
+	mach := machine.T3D()
+	cfg := Config{Warmup: 1, K: 2, Reps: 2, Seed: 5}
+	plain := MeasureOp(mach, machine.OpBroadcast, 8, 1024, cfg)
+	ctxed, err := MeasureOpCtx(context.Background(), mach, machine.OpBroadcast, 8, 1024, cfg,
+		mpi.DefaultAlgorithms(mach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != ctxed {
+		t.Fatalf("context path diverged:\n%+v\nvs\n%+v", plain, ctxed)
+	}
+}
+
+// TestMeasureOpCtxAlreadyExpired: a dead context returns immediately
+// with its error, before any simulation runs.
+func TestMeasureOpCtxAlreadyExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mach := machine.SP2()
+	_, err := MeasureOpCtx(ctx, mach, machine.OpAlltoall, 16, 65536,
+		Config{Warmup: 1, K: 2, Reps: 1, Seed: 1}, mpi.DefaultAlgorithms(mach))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMeasureOpCtxCancelMidRun: cancelling during a large simulation
+// aborts it promptly, surfaces the cancellation (wrapped in
+// sim.ErrInterrupted), and leaks no rank goroutines.
+func TestMeasureOpCtxCancelMidRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	// A big alltoall over many reps: minutes of simulation if never
+	// interrupted, so finishing fast proves the cancel took effect.
+	mach := machine.Paragon()
+	start := time.Now()
+	_, err := MeasureOpCtx(ctx, mach, machine.OpAlltoall, 128, 1<<20,
+		Config{Warmup: 2, K: 20, Reps: 50, Seed: 1}, mpi.DefaultAlgorithms(mach))
+	if err == nil {
+		t.Fatal("cancelled measurement returned no error")
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancel took %s to bite", elapsed)
+	}
+	// The unwind must reclaim every rank goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("rank goroutines leaked: %d live, base %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -18,6 +18,8 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/coll"
@@ -75,18 +77,46 @@ func MeasureOp(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config) 
 // collectives skip payload byte movement while simulating identical
 // timings.
 func MeasureOpWith(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, algs mpi.Algorithms) Sample {
+	s, err := MeasureOpCtx(context.Background(), mach, op, p, msgLen, cfg, algs)
+	if err != nil {
+		// The background context never cancels, and every other failure
+		// already panics inside runOnce.
+		panic(fmt.Sprintf("measure: %s %s p=%d m=%d: %v", mach.Name(), op, p, msgLen, err))
+	}
+	return s
+}
+
+// MeasureOpCtx is MeasureOpWith under a cancellable context: the
+// simulation kernel polls ctx at event-loop drive boundaries
+// (sim.Kernel.SetInterrupt) and a cancellation unwinds the run's rank
+// processes cleanly — no goroutine leaks — returning ctx's error. A
+// context that can never cancel (context.Background()) installs no
+// probe and measures byte-identically to MeasureOpWith.
+func MeasureOpCtx(ctx context.Context, mach *machine.Machine, op machine.Op, p, msgLen int, cfg Config, algs mpi.Algorithms) (Sample, error) {
 	if cfg.K < 1 || cfg.Reps < 1 {
 		panic("measure: need K ≥ 1 and Reps ≥ 1")
 	}
+	if err := ctx.Err(); err != nil {
+		return Sample{}, err
+	}
 	cl := machine.NewCluster(mach, p, cfg.Seed)
+	if ctx.Done() != nil {
+		cl.Kernel().SetInterrupt(ctx.Err)
+	}
 	locals := make([]sim.Duration, p)
 	reps := make([]float64, 0, cfg.Reps)
 	var minSum, meanSum float64
 	for rep := 0; rep < cfg.Reps; rep++ {
 		if rep > 0 {
+			if err := ctx.Err(); err != nil {
+				return Sample{}, err
+			}
 			cl.Reset(cfg.Seed + int64(rep))
 		}
-		r := runOnce(cl, op, msgLen, cfg, algs, locals)
+		r, err := runOnce(cl, op, msgLen, cfg, algs, locals)
+		if err != nil {
+			return Sample{}, err
+		}
 		reps = append(reps, r.Max)
 		minSum += r.Min
 		meanSum += r.Mean
@@ -96,12 +126,14 @@ func MeasureOpWith(mach *machine.Machine, op machine.Op, p, msgLen int, cfg Conf
 		Machine: mach.Name(), Op: op, P: p, M: msgLen,
 		Micros: agg.Mean, MinMicros: agg.Min, MaxMicros: agg.Max,
 		RankMin: minSum / float64(cfg.Reps), RankMean: meanSum / float64(cfg.Reps),
-	}
+	}, nil
 }
 
 // runOnce executes one benchmark program on cl and returns the per-rank
-// summary (the paper's min/max/mean over all processes) in µs.
-func runOnce(cl *machine.Cluster, op machine.Op, msgLen int, cfg Config, algs mpi.Algorithms, locals []sim.Duration) stats.Summary {
+// summary (the paper's min/max/mean over all processes) in µs. An
+// interrupted drive returns the cancellation cause; any other failure
+// (rank panic, deadlock) is a bug in the model and still panics.
+func runOnce(cl *machine.Cluster, op machine.Op, msgLen int, cfg Config, algs mpi.Algorithms, locals []sim.Duration) (stats.Summary, error) {
 	err := mpi.RunWith(cl, mpi.RunOptions{Algorithms: algs, OpaquePayloads: true}, func(c *mpi.Comm) {
 		body := opBody(c, op, msgLen)
 		for w := 0; w < cfg.Warmup; w++ {
@@ -115,6 +147,9 @@ func runOnce(cl *machine.Cluster, op machine.Op, msgLen int, cfg Config, algs mp
 		end := c.Wtime()
 		locals[c.Rank()] = end.Sub(start) / sim.Duration(cfg.K)
 	})
+	if errors.Is(err, sim.ErrInterrupted) {
+		return stats.Summary{}, err
+	}
 	if err != nil {
 		panic(fmt.Sprintf("measure: %s %s p=%d m=%d: %v",
 			cl.Machine().Name(), op, cl.Size(), msgLen, err))
@@ -127,7 +162,7 @@ func runOnce(cl *machine.Cluster, op machine.Op, msgLen int, cfg Config, algs mp
 	for i, v := range locals {
 		micros[i] = v.Micros()
 	}
-	return stats.Summarize(micros)
+	return stats.Summarize(micros), nil
 }
 
 // opBody returns a closure executing one instance of the collective with

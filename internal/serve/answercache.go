@@ -72,12 +72,16 @@ func epochID(epoch string) uint64 {
 
 // acEntry is one cached (or in-flight) answer; once gives cold keys
 // their single flight, done marks the answer as materialized (eviction
-// never removes an entry a goroutine is still computing into).
+// never removes an entry a goroutine is still computing into). err is
+// the computation's failure, shared by the flight's waiters; errored
+// entries are forgotten right after the flight (see Server.answerCached)
+// so retries recompute.
 type acEntry struct {
 	once sync.Once
 	done atomic.Bool
 	used atomic.Bool
 	ans  Answer
+	err  error
 }
 
 type acShard struct {
@@ -155,6 +159,18 @@ func (c *AnswerCache) get(k acKey) (e *acEntry, created bool) {
 	sh.m[k] = e
 	sh.mu.Unlock()
 	return e, true
+}
+
+// forget removes k's entry if it is still e — pointer-compared, so a
+// retry that already replaced the slot is left alone. Used to discard
+// errored and degraded computations after their single flight.
+func (c *AnswerCache) forget(k acKey, e *acEntry) {
+	sh := &c.shards[c.shard(&k)]
+	sh.mu.Lock()
+	if sh.m[k] == e {
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
 }
 
 // shard hashes the key's scenario coordinates (FNV-1a). The epoch id

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -22,9 +23,9 @@ type countingBackend struct {
 
 func (b *countingBackend) Name() string       { return b.inner.Name() }
 func (b *countingBackend) Provenance() string { return b.inner.Provenance() }
-func (b *countingBackend) Estimate(mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) estimate.Estimate {
+func (b *countingBackend) Estimate(ctx context.Context, mach *machine.Machine, op machine.Op, algs mpi.Algorithms, p, m int, cfg measure.Config) (estimate.Estimate, error) {
 	b.calls.Add(1)
-	return b.inner.Estimate(mach, op, algs, p, m, cfg)
+	return b.inner.Estimate(ctx, mach, op, algs, p, m, cfg)
 }
 
 // cachedServer is testServer plus a bounded answer cache and metrics.

@@ -189,6 +189,7 @@ type scratch struct {
 	res     []resolved
 	answers []Answer
 	cres    []uint8
+	errs    []error
 	wreq    wire.Request
 	wbuf    []byte
 	triples map[uint64]resolved
@@ -231,4 +232,19 @@ func (s *scratch) cacheSlice(n int) []uint8 {
 	}
 	s.cres = s.cres[:n]
 	return s.cres
+}
+
+// errSlice returns the per-scenario error slice, cleared: unlike the
+// other scratch slices it is sparsely written (most scenarios succeed),
+// so stale pooled values must be zeroed.
+func (s *scratch) errSlice(n int) []error {
+	if cap(s.errs) < n {
+		s.errs = make([]error, n)
+		return s.errs
+	}
+	s.errs = s.errs[:n]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	return s.errs
 }

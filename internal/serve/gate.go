@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// ErrQueueFull is Acquire's refusal when the admission queue is at its
+// budget: the caller should shed the request with 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// Gate is the service's admission control: a token bucket bounding the
+// requests estimating concurrently, plus a bounded wait queue ahead of
+// it. The bucket is a buffered channel pre-filled with tokens (the
+// snowflake proxy token idiom); a request either grabs a token
+// immediately, waits in the bounded queue for one, or is shed. Shedding
+// at the gate keeps one slow batch (a hostile sim fallback) from
+// pinning unbounded well-behaved traffic behind it: the queue budget
+// caps the worst-case latency a queued request inherits.
+//
+// A nil *Gate admits everything.
+type Gate struct {
+	tokens   chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+// NewGate returns a gate admitting up to concurrent requests with up to
+// queue more waiting, or nil (no gating) when concurrent ≤ 0. queue ≤ 0
+// means no waiting at all: every request beyond the concurrency budget
+// is shed immediately.
+func NewGate(concurrent, queue int) *Gate {
+	if concurrent <= 0 {
+		return nil
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	g := &Gate{tokens: make(chan struct{}, concurrent), maxQueue: int64(queue)}
+	for i := 0; i < concurrent; i++ {
+		g.tokens <- struct{}{}
+	}
+	return g
+}
+
+// Acquire takes one admission token, waiting in the bounded queue when
+// the bucket is empty. It returns ErrQueueFull when the queue is at
+// budget and ctx's error when the request expires (or the client goes
+// away) while queued. depth, when non-nil, tracks the live queue depth
+// (the serve_queue_depth gauge). A nil gate admits immediately.
+func (g *Gate) Acquire(ctx context.Context, depth *obs.Gauge) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case <-g.tokens:
+		return nil // fast path: a token was free, no queueing
+	default:
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	depth.Add(1)
+	defer func() {
+		g.waiting.Add(-1)
+		depth.Add(-1)
+	}()
+	select {
+	case <-g.tokens:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns one admission token. Call exactly once per successful
+// Acquire. Nil-safe.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	g.tokens <- struct{}{}
+}

@@ -23,16 +23,46 @@ const (
 
 var fallbackKindNames = [numFallbackKinds]string{"", "out_of_range", "uncovered", "variant_only"}
 
+// shedReason classifies why the admission gate refused a request — the
+// label set of serve_shed_total.
+type shedReason int
+
+const (
+	shedNone      shedReason = iota
+	shedQueueFull            // the bounded wait queue was at budget (429)
+	shedTimeout              // the request expired while queued (503)
+	numShedReasons
+)
+
+var shedReasonNames = [numShedReasons]string{"", "queue_full", "timeout"}
+
+// Deadline outcomes — the label set of serve_deadline_total, recorded
+// for every request that carried a deadline (configured or header).
+const (
+	dlMet      = iota // answered in full within the deadline
+	dlDegraded        // answered, but ≥ 1 scenario degraded to closed form
+	dlExceeded        // 504: the deadline fired with no degraded answer available
+	numDeadlineOutcomes
+)
+
+var deadlineOutcomeNames = [numDeadlineOutcomes]string{"met", "degraded", "exceeded"}
+
 // reqStats is one request's outcome, filled by serveEstimate and turned
 // into metric updates and an access-log line by handleEstimate.
 type reqStats struct {
 	status    int
 	registry  string    // resolved entry name; "" when none resolved
 	codec     codecKind // negotiated wire codec; codecUnknown on 415
+	shed      shedReason
 	scenarios int
 	fallbacks int
 	kinds     [numFallbackKinds]int
 	bounds    int // answers carrying an expected_error
+	// hadDeadline marks a request that ran under a deadline; degraded
+	// counts its scenarios answered closed-form because the deadline
+	// expired mid-simulation.
+	hadDeadline bool
+	degraded    int
 	// Answer-cache verdicts per scenario. With no cache attached every
 	// scenario is a bypass.
 	cacheHits, cacheMisses, cacheBypass int
@@ -50,7 +80,12 @@ type Metrics struct {
 	bounds                             *obs.Counter
 	wire                               [numCodecs]*obs.Counter
 	cacheHit, cacheMiss, cacheBypass   *obs.Counter
+	shedKinds                          [numShedReasons]*obs.Counter // [shedNone] stays nil
+	deadlines                          [numDeadlineOutcomes]*obs.Counter
+	degraded                           *obs.Counter
+	reloadOK, reloadErr                *obs.Counter
 	inFlight                           *obs.Gauge
+	queue                              *obs.Gauge
 	batch                              *obs.Histogram
 	stages                             [obs.NumStages]*obs.Histogram
 
@@ -69,7 +104,12 @@ type Metrics struct {
 //	serve_bounds_attached_total            answers carrying expected_error
 //	serve_wire_requests_total{codec}       json | ndjson | binary
 //	serve_answer_cache_total{result}       hit | miss | bypass (per scenario)
+//	serve_shed_total{reason}               queue_full | timeout (admission gate refusals)
+//	serve_deadline_total{outcome}          met | degraded | exceeded (deadline-carrying requests)
+//	serve_degraded_total                   scenarios answered degraded (closed form, deadline pressed)
+//	serve_reloads_total{result}            ok | error (hot registry reloads)
 //	serve_in_flight                        requests currently in the handler
+//	serve_queue_depth                      requests waiting at the admission gate
 //	serve_batch_size                       scenarios per served request
 //	serve_stage_duration_ns{stage}         decode … encode (see obs.Stage)
 //
@@ -108,8 +148,28 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			obs.Label{Key: "result", Value: result})
 	}
 	m.cacheHit, m.cacheMiss, m.cacheBypass = cache("hit"), cache("miss"), cache("bypass")
+	for sr := shedNone + 1; sr < numShedReasons; sr++ {
+		m.shedKinds[sr] = reg.Counter("serve_shed_total",
+			"requests refused at the admission gate, by reason",
+			obs.Label{Key: "reason", Value: shedReasonNames[sr]})
+	}
+	for d := 0; d < numDeadlineOutcomes; d++ {
+		m.deadlines[d] = reg.Counter("serve_deadline_total",
+			"deadline-carrying requests by outcome",
+			obs.Label{Key: "outcome", Value: deadlineOutcomeNames[d]})
+	}
+	m.degraded = reg.Counter("serve_degraded_total",
+		"scenarios answered degraded: closed form because the deadline expired mid-simulation")
+	reload := func(result string) *obs.Counter {
+		return reg.Counter("serve_reloads_total",
+			"hot registry reloads by result",
+			obs.Label{Key: "result", Value: result})
+	}
+	m.reloadOK, m.reloadErr = reload("ok"), reload("error")
 	m.inFlight = reg.Gauge("serve_in_flight",
 		"estimate requests currently being handled")
+	m.queue = reg.Gauge("serve_queue_depth",
+		"requests waiting at the admission gate")
 	m.batch = reg.Histogram("serve_batch_size",
 		"scenarios per served estimate request")
 	for st := obs.Stage(0); st < obs.NumStages; st++ {
@@ -143,6 +203,35 @@ func (m *Metrics) end() {
 	}
 }
 
+// queueDepth returns the admission-queue gauge (nil when unmetered —
+// obs gauges are nil-safe, so the gate adds into it unconditionally).
+func (m *Metrics) queueDepth() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.queue
+}
+
+// reloaded records one hot registry reload. Nil-safe.
+func (m *Metrics) reloaded(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.reloadOK.Inc()
+	} else {
+		m.reloadErr.Inc()
+	}
+}
+
+// panicked records a request that died in a handler panic (recovered by
+// the middleware into a 500). Nil-safe.
+func (m *Metrics) panicked() {
+	if m != nil {
+		m.reqServerErr.Inc()
+	}
+}
+
 // observe folds one finished request into the series. Stage histograms
 // and scenario-level counters update only for served requests, keeping
 // them consistent with the ok outcome count.
@@ -161,8 +250,24 @@ func (m *Metrics) observe(st reqStats, tr *obs.Trace) {
 	if st.codec >= 0 {
 		m.wire[st.codec].Inc()
 	}
+	if st.shed != shedNone {
+		m.shedKinds[st.shed].Inc()
+	}
+	if st.hadDeadline {
+		switch {
+		case st.status == http.StatusGatewayTimeout:
+			m.deadlines[dlExceeded].Inc()
+		case st.status == http.StatusOK && st.degraded > 0:
+			m.deadlines[dlDegraded].Inc()
+		case st.status == http.StatusOK:
+			m.deadlines[dlMet].Inc()
+		}
+	}
 	if st.status != http.StatusOK {
 		return
+	}
+	if st.degraded > 0 {
+		m.degraded.Add(uint64(st.degraded))
 	}
 	if st.cacheHits > 0 {
 		m.cacheHit.Add(uint64(st.cacheHits))

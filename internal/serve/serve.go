@@ -2,12 +2,15 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/estimate"
@@ -101,16 +104,33 @@ type RegistryResponse struct {
 // sets. Configure the fields before calling Handler; the handler itself
 // is safe for concurrent use.
 type Server struct {
-	// Registry is the expression-set registry requests resolve against.
+	// Registry is the expression-set registry requests resolve against
+	// (until a hot reload swaps in a newer one — see Reloader).
 	Registry *estimate.Registry
 	// Default is the registry entry served when a request names none.
 	Default string
-	// Sim answers out-of-range scenarios exactly; give it a SampleMemo
-	// to dedup repeated fallback simulations.
-	Sim estimate.Sim
+	// Sim answers out-of-range scenarios exactly; nil means a bare
+	// estimate.Sim{}. Give it a SampleMemo to dedup repeated fallback
+	// simulations, or wrap it (estimate.FaultBackend) for chaos testing.
+	Sim estimate.Backend
 	// Config is the fallback simulation methodology; zero means
 	// measure.Fast() — deterministic, seeded.
 	Config measure.Config
+	// Timeout is the default per-request estimation deadline; ≤ 0 means
+	// none. A request can override it with the X-Estimate-Deadline-Ms
+	// header. When the deadline expires mid-fallback the simulation is
+	// cancelled and the scenario is answered degraded (closed form, no
+	// bounds, fallback_reason "degraded_deadline") instead of hanging.
+	Timeout time.Duration
+	// Gate, when non-nil, is the admission control ahead of estimation:
+	// requests beyond its concurrency budget queue, and beyond its queue
+	// budget are shed with 429 + Retry-After.
+	Gate *Gate
+	// Reloader, when non-nil, rebuilds the registry for hot reload;
+	// POST /v1/reload is mounted and ReloadRegistry swaps the result in
+	// atomically. Answer-cache entries key on each entry's epoch, so
+	// answers from a replaced registry self-invalidate.
+	Reloader func() (*estimate.Registry, error)
 	// Workers bounds the per-request estimation pool; ≤ 0 means
 	// GOMAXPROCS.
 	Workers int
@@ -139,6 +159,14 @@ type Server struct {
 	// Lifecycle messages (listening, draining) belong to the caller.
 	Logger *obs.Logger
 
+	// reg holds the hot-reloaded registry; nil until the first swap,
+	// after which it overrides the Registry field (see registry()).
+	reg atomic.Pointer[estimate.Registry]
+	// degradedOnce/degradedA lazily build the degraded-mode backend: the
+	// paper's closed-form expressions, which answer instantly when a
+	// deadline has already eaten the fallback simulation's budget.
+	degradedOnce sync.Once
+	degradedA    *estimate.Analytic
 	// epochs caches each entry's interned answer-cache epoch id
 	// (Entry.Epoch plus the server's sim-config digest) by entry
 	// identity.
@@ -167,16 +195,91 @@ type tripleKey struct {
 // a few MB of JSON.
 const maxBodyBytes = 16 << 20
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route runs behind
+// the panic-recovery middleware: a handler panic answers 500 instead of
+// killing the connection, and the in-flight gauge (decremented by
+// defer) never leaks.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	if s.Reloader != nil {
+		mux.HandleFunc("POST /v1/reload", s.handleReload)
+	}
 	if s.Obs != nil {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
 		mux.HandleFunc("GET /debug/vars", s.handleVars)
 	}
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a panicking handler into a 500 response. The
+// response write is best-effort — a handler that already streamed its
+// status keeps it — but the connection survives and per-request defers
+// (gate release, in-flight decrement) have already run by the time the
+// panic reaches this frame.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.Obs.panicked()
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error: handler panicked: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// registry returns the registry requests resolve against: the last
+// hot-reloaded one, or the configured Registry field before any reload.
+func (s *Server) registry() *estimate.Registry {
+	if r := s.reg.Load(); r != nil {
+		return r
+	}
+	return s.Registry
+}
+
+// SetRegistry atomically swaps the serving registry. In-flight requests
+// keep the entry they already resolved; new requests see the new
+// registry. Answer-cache keys carry each entry's epoch, so stale
+// answers are simply never found again.
+func (s *Server) SetRegistry(r *estimate.Registry) {
+	s.reg.Store(r)
+}
+
+// ReloadRegistry rebuilds the registry through the configured Reloader
+// and swaps it in. The swap is atomic and the old registry serves until
+// the new one is fully built, so a reload never fails live traffic.
+func (s *Server) ReloadRegistry() error {
+	if s.Reloader == nil {
+		return errors.New("serve: no reloader configured")
+	}
+	r, err := s.Reloader()
+	if err != nil {
+		s.Obs.reloaded(false)
+		return err
+	}
+	if _, err := r.Get(s.Default); err != nil {
+		s.Obs.reloaded(false)
+		return fmt.Errorf("reloaded registry lacks the default entry: %w", err)
+	}
+	s.reg.Store(r)
+	s.Obs.reloaded(true)
+	return nil
+}
+
+// handleReload answers POST /v1/reload: rebuild, swap, report.
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.ReloadRegistry(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status     string   `json:"status"`
+		Default    string   `json:"default"`
+		Registries []string `json:"registries"`
+	}{"reloaded", s.Default, s.registry().Names()})
 }
 
 func (s *Server) config() measure.Config {
@@ -184,6 +287,22 @@ func (s *Server) config() measure.Config {
 		return measure.Fast()
 	}
 	return s.Config
+}
+
+// simBackend returns the fallback backend: the configured Sim, or a
+// bare memo-less simulator.
+func (s *Server) simBackend() estimate.Backend {
+	if s.Sim != nil {
+		return s.Sim
+	}
+	return estimate.Sim{}
+}
+
+// degradedBackend returns the closed-form backend that answers
+// deadline-pressed scenarios, built lazily (most servers never degrade).
+func (s *Server) degradedBackend() *estimate.Analytic {
+	s.degradedOnce.Do(func() { s.degradedA = estimate.PaperAnalytic() })
+	return s.degradedA
 }
 
 func (s *Server) maxBatch() int {
@@ -217,11 +336,20 @@ type resolved struct {
 	fallbackReason string
 }
 
-// handleEstimate answers POST /v1/estimate. It brackets serveEstimate
-// with the per-request instrumentation: in-flight gauge, outcome and
-// stage metrics, and the debug access-log line. With neither metrics
-// nor debug logging attached the request never reads the clock.
+// handleEstimate answers POST /v1/estimate. The admission gate runs
+// first — a shed request costs no decode, no estimation, and never
+// counts as in flight — then serveEstimate is bracketed with the
+// per-request instrumentation: in-flight gauge, outcome and stage
+// metrics, and the debug access-log line. With neither metrics nor
+// debug logging attached the request never reads the clock.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if s.Gate != nil {
+		if err := s.Gate.Acquire(r.Context(), s.Obs.queueDepth()); err != nil {
+			s.shed(w, err)
+			return
+		}
+		defer s.Gate.Release()
+	}
 	logging := s.Logger.Enabled(obs.LevelDebug)
 	if s.Obs == nil && !logging {
 		s.serveEstimate(w, r, nil)
@@ -246,6 +374,46 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			obs.F("duration_ns", time.Since(start).Nanoseconds()),
 			obs.F("stage_ns", stageNS(&tr)))
 	}
+}
+
+// shed refuses one request at the admission gate: a full queue is 429
+// with Retry-After (the client should back off and retry), a request
+// that expired while queued is 503. Shed requests are counted in
+// serve_shed_total{reason} and the request-outcome series but touch
+// nothing else — the point of shedding is to stay cheap.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	st := reqStats{codec: codecUnknown}
+	if errors.Is(err, ErrQueueFull) {
+		st.status = http.StatusTooManyRequests
+		st.shed = shedQueueFull
+		w.Header().Set("Retry-After", "1")
+		writeError(w, st.status, errors.New("overloaded: admission queue full; retry after the Retry-After delay"))
+	} else {
+		st.status = http.StatusServiceUnavailable
+		st.shed = shedTimeout
+		writeError(w, st.status, fmt.Errorf("request expired in the admission queue: %v", err))
+	}
+	s.Obs.observe(st, nil)
+}
+
+// deadlineHeader is the per-request deadline override, in milliseconds.
+const deadlineHeader = "X-Estimate-Deadline-Ms"
+
+// requestDeadline decides one request's estimation deadline: the
+// X-Estimate-Deadline-Ms header wins over the server's configured
+// Timeout; neither means the request runs unbounded.
+func requestDeadline(r *http.Request, def time.Duration) (time.Duration, bool, error) {
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			return 0, false, fmt.Errorf("invalid %s header %q: want a positive integer millisecond count", deadlineHeader, h)
+		}
+		return time.Duration(ms) * time.Millisecond, true, nil
+	}
+	if def > 0 {
+		return def, true, nil
+	}
+	return 0, false, nil
 }
 
 // stageNS flattens a trace into the access-log object (encoding/json
@@ -360,7 +528,7 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	// responses carry the same provenance headers as successes. An
 	// unknown-registry error clears the entry instead: there is no
 	// provenance to claim for a name that resolves to nothing.
-	entry, _ := s.Registry.Get(s.Default)
+	entry, _ := s.registry().Get(s.Default)
 	fail := func(status int, err error) reqStats {
 		if entry != nil {
 			setProvenance(w, entry)
@@ -375,6 +543,15 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 		return fail(http.StatusUnsupportedMediaType, err)
 	}
 	st.codec = codec
+	ctx := r.Context()
+	if d, has, derr := requestDeadline(r, s.Timeout); derr != nil {
+		return fail(http.StatusBadRequest, derr)
+	} else if has {
+		st.hadDeadline = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	tm := newStageTimer(tr)
 	bodyBuf := getBuffer()
 	defer putBuffer(bodyBuf)
@@ -415,7 +592,7 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	if regName == "" {
 		regName = s.Default
 	}
-	if entry, err = s.Registry.Get(regName); err != nil {
+	if entry, err = s.registry().Get(regName); err != nil {
 		return fail(http.StatusBadRequest, err)
 	}
 	st.registry = entry.Name
@@ -472,25 +649,34 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	}
 	answers := scr.answerSlice(len(res))
 	cres := scr.cacheSlice(len(res))
+	errs := scr.errSlice(len(res))
 	if len(res) == 1 {
 		// The common single-scenario request skips the pool and its
 		// worker closures entirely.
 		wt := workerTimer{tr: tr, base: tm.base}
-		answers[0], cres[0] = s.answerCached(entry, epoch, res[0], &wt)
+		answers[0], cres[0], errs[0] = s.answerCached(ctx, entry, epoch, res[0], &wt)
 		wt.flush()
 	} else {
 		fanOut(workers, len(res), func() (func(int), func()) {
 			wt := &workerTimer{tr: tr, base: tm.base}
-			return func(i int) { answers[i], cres[i] = s.answerCached(entry, epoch, res[i], wt) }, wt.flush
+			return func(i int) { answers[i], cres[i], errs[i] = s.answerCached(ctx, entry, epoch, res[i], wt) }, wt.flush
 		})
 	}
 	tm.skip()
 
 	st.scenarios = len(res)
+	var scErr error
 	for i := range res {
+		if errs[i] != nil && scErr == nil {
+			scErr = fmt.Errorf("scenario %d (%s/%s p=%d m=%d): %w",
+				i, res[i].mach.Name(), res[i].op, res[i].p, res[i].m, errs[i])
+		}
 		if res[i].fallback {
 			st.fallbacks++
 			st.kinds[res[i].fbKind]++
+		}
+		if answers[i].FallbackReason == reasonDegraded {
+			st.degraded++
 		}
 		if answers[i].ExpectedError != nil {
 			st.bounds++
@@ -503,6 +689,15 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 		default:
 			st.cacheBypass++
 		}
+	}
+	if scErr != nil {
+		// A deadline that expired where no closed-form degraded answer
+		// exists is a timeout the client must know about; anything else
+		// (an injected fault, a recovered backend panic) is a 500.
+		if errors.Is(scErr, context.DeadlineExceeded) || errors.Is(scErr, context.Canceled) {
+			return fail(http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded with no degraded answer available: %w", scErr))
+		}
+		return fail(http.StatusInternalServerError, scErr)
 	}
 
 	setProvenance(w, entry)
@@ -552,7 +747,11 @@ func (s *Server) entryEpoch(e *estimate.Entry) uint64 {
 		if err != nil {
 			panic(fmt.Sprintf("serve: config digest: %v", err))
 		}
-		s.cfgDigest = string(blob)
+		// The fallback backend's identity is part of every epoch: a
+		// chaos-wrapped simulator (distinct provenance) must never share
+		// cached answers with a clean one.
+		sim := s.simBackend()
+		s.cfgDigest = string(blob) + "\x00" + sim.Name() + "\x00" + sim.Provenance()
 	})
 	ep := epochID(e.Epoch() + "\x00" + s.cfgDigest)
 	s.epochs.Store(e, ep)
@@ -568,12 +767,17 @@ const (
 )
 
 // answerCached serves one resolved scenario through the answer cache:
-// a finished answer is returned as-is, a cold key runs s.answer once
-// (single flight — concurrent requests for the same cold key wait and
-// share), and with no cache attached every scenario computes.
-func (s *Server) answerCached(entry *estimate.Entry, epoch uint64, rs resolved, wt *workerTimer) (Answer, uint8) {
+// a finished answer is returned as-is, a cold key runs s.answerSafe
+// once (single flight — concurrent requests for the same cold key wait
+// and share), and with no cache attached every scenario computes.
+// Errored and degraded computations are forgotten after the flight —
+// waiters sharing it see the same outcome, but the next request retries
+// (or gets the real answer once the pressure is off) instead of being
+// served a poisoned slot forever.
+func (s *Server) answerCached(ctx context.Context, entry *estimate.Entry, epoch uint64, rs resolved, wt *workerTimer) (Answer, uint8, error) {
 	if s.Cache == nil {
-		return s.answer(entry, rs, wt), cacheBypass
+		a, err := s.answerSafe(ctx, entry, rs, wt)
+		return a, cacheBypass, err
 	}
 	k := acKey{
 		eid: epoch, fp: estimate.CachedFingerprint(rs.mach),
@@ -583,18 +787,23 @@ func (s *Server) answerCached(entry *estimate.Entry, epoch uint64, rs resolved, 
 	if !created && e.done.Load() {
 		// The steady-state hit: the answer exists, so skip once.Do —
 		// building its closure would be the hit path's only allocation.
-		return e.ans, cacheHit
+		return e.ans, cacheHit, e.err
 	}
 	// Whoever wins the once computes; everyone blocks until the answer
-	// exists. The creator is the accounting miss either way.
+	// exists. The creator is the accounting miss either way. The recover
+	// lives inside answerSafe, not around the Do: a panic escaping the
+	// Do fn would mark the once consumed and poison the entry.
 	e.once.Do(func() {
-		e.ans = s.answer(entry, rs, wt)
+		e.ans, e.err = s.answerSafe(ctx, entry, rs, wt)
 		e.done.Store(true)
+		if e.err != nil || e.ans.FallbackReason == reasonDegraded {
+			s.Cache.forget(k, e)
+		}
 	})
 	if created {
-		return e.ans, cacheMiss
+		return e.ans, cacheMiss, e.err
 	}
-	return e.ans, cacheHit
+	return e.ans, cacheHit, e.err
 }
 
 // parseEstimateRequest accepts the three request shapes: a bare
@@ -702,27 +911,86 @@ func (s *Server) checkPM(rs *resolved, p, m int) error {
 // sweep engine into the serving layer.
 const sweepDefaultAlg = "default"
 
+// reasonDegraded marks an answer served closed-form because the
+// request's deadline expired before the exact simulator could finish.
+// Degraded answers carry no bounds and are never cached.
+const reasonDegraded = "degraded_deadline"
+
+// answerSafe is answer with backend panics converted to errors. Worker
+// goroutines are outside net/http's recovery, so an unrecovered panic
+// (an injected chaos fault, a modeling bug) would kill the process; here
+// it becomes a per-scenario error and a 500.
+func (s *Server) answerSafe(ctx context.Context, entry *estimate.Entry, rs resolved, wt *workerTimer) (a Answer, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			a, err = Answer{}, fmt.Errorf("backend panicked: %v", rec)
+		}
+	}()
+	return s.answer(ctx, entry, rs, wt)
+}
+
 // answer serves one resolved scenario from the entry — or from the
 // exact simulator, flagged, when the fallback decision computed at
-// resolve time says the entry cannot answer it honestly. Estimate and
+// resolve time says the entry cannot answer it honestly. A ctx that
+// expires mid-estimate degrades to the paper's closed-form expressions
+// when they cover the scenario (an instant answer flagged
+// "degraded_deadline", no bounds) and errors otherwise. Estimate and
 // bound-attach time is charged to the worker's timer.
-func (s *Server) answer(entry *estimate.Entry, rs resolved, wt *workerTimer) Answer {
+func (s *Server) answer(ctx context.Context, entry *estimate.Entry, rs resolved, wt *workerTimer) (Answer, error) {
 	echo := Scenario{Machine: rs.mach.Name(), Op: string(rs.op), Algorithm: rs.alg, P: rs.p, M: rs.m}
 	e0 := wt.start()
+	var est estimate.Estimate
+	var err error
 	if rs.fallback {
-		est := s.Sim.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+		est, err = s.simBackend().Estimate(ctx, rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+	} else {
+		est, err = entry.Backend.Estimate(ctx, rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+	}
+	if err != nil {
 		wt.estimateDone(e0)
+		if ctx.Err() != nil {
+			if a, ok := s.degradedAnswer(echo, rs); ok {
+				return a, nil
+			}
+			// Make sure the timeout wins the errors.Is dispatch even if
+			// the backend returned a bare injected error after ctx fired.
+			return Answer{}, fmt.Errorf("%w (%v)", ctx.Err(), err)
+		}
+		return Answer{}, err
+	}
+	e1 := wt.estimateDone(e0)
+	if rs.fallback {
 		return Answer{
 			Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend,
 			Fallback: true, FallbackReason: rs.fallbackReason,
-		}
+		}, nil
 	}
-	est := entry.Backend.Estimate(rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
-	e1 := wt.estimateDone(e0)
 	a := Answer{Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend}
 	attachBound(entry, rs, &a)
 	wt.boundsDone(e1)
-	return a
+	return a, nil
+}
+
+// degradedAnswer answers a deadline-pressed scenario from the paper's
+// published expressions — instant, honest about what it is (fallback
+// with reason "degraded_deadline"), and carrying no bounds: the
+// expression set was not validated for this scenario, that is why the
+// simulator was asked in the first place. ok is false when the paper's
+// set has no expression for the (machine, op) pair; the caller then
+// surfaces the timeout.
+func (s *Server) degradedAnswer(echo Scenario, rs resolved) (Answer, bool) {
+	da := s.degradedBackend()
+	if !da.Covers(rs.mach.Name(), rs.op) {
+		return Answer{}, false
+	}
+	est, err := da.Estimate(context.Background(), rs.mach, rs.op, rs.algs, rs.p, rs.m, s.config())
+	if err != nil {
+		return Answer{}, false // Analytic never errors; belt and braces
+	}
+	return Answer{
+		Scenario: echo, Micros: est.Sample.Micros, Backend: est.Backend,
+		Fallback: true, FallbackReason: reasonDegraded,
+	}, true
 }
 
 // attachBound annotates a closed-form answer with its validated
@@ -797,7 +1065,7 @@ func uncoveredReason(entry *estimate.Entry, rs resolved) string {
 
 // handleRegistry answers GET /v1/registry.
 func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
-	entries := s.Registry.Entries()
+	entries := s.registry().Entries()
 	resp := RegistryResponse{Default: s.Default, Registries: make([]RegistryInfo, 0, len(entries))}
 	for _, e := range entries {
 		info := RegistryInfo{

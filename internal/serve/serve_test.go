@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -201,7 +202,10 @@ func TestOutOfRangeFallsBackToSim(t *testing.T) {
 		t.Fatalf("sim fallback should carry no bound: %+v", a.ExpectedError)
 	}
 	mach := machine.T3D()
-	want := estimate.Sim{}.Estimate(mach, machine.OpBroadcast, mpi.DefaultAlgorithms(mach), 8, 65536, tinyCfg)
+	want, err := estimate.Sim{}.Estimate(context.Background(), mach, machine.OpBroadcast, mpi.DefaultAlgorithms(mach), 8, 65536, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Micros != want.Sample.Micros {
 		t.Fatalf("fallback micros %v, direct sim %v", a.Micros, want.Sample.Micros)
 	}

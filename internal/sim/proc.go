@@ -16,6 +16,12 @@ type Proc struct {
 	waiting string // human-readable blocking reason, for deadlock reports
 }
 
+// interruptPanic unwinds a process goroutine when its kernel's drive
+// was canceled (SetInterrupt): park panics with it after being resumed
+// mid-cancellation, and the spawn wrapper's recover treats it as the
+// expected exit rather than a process failure.
+type interruptPanic struct{}
+
 // Go spawns a process executing fn. The process starts at the current
 // simulated time (via a zero-delay event). If fn panics, the panic is
 // captured and surfaced as an error from Kernel.Run.
@@ -28,8 +34,10 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	k.procs[p] = struct{}{}
 	go func() {
 		defer func() {
-			if r := recover(); r != nil && k.failure == nil {
-				k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			if r := recover(); r != nil {
+				if _, interrupted := r.(interruptPanic); !interrupted && k.failure == nil {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
 			}
 			p.done = true
 			delete(k.procs, p)
@@ -41,6 +49,9 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 			}
 		}()
 		<-p.resume // wait for first dispatch
+		if k.canceling {
+			panic(interruptPanic{})
+		}
 		fn(p)
 	}()
 	k.wake(p, 0)
@@ -69,6 +80,11 @@ func (p *Proc) park(reason string) {
 		<-p.resume
 	}
 	p.waiting = ""
+	// A canceled drive resumes parked processes only so they can exit;
+	// unwind instead of returning to simulated work.
+	if k.canceling {
+		panic(interruptPanic{})
+	}
 }
 
 // Name returns the process name.

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -255,7 +256,12 @@ func (r *Runner) runOne(sc Scenario, key string, mc *machineCtx, backend estimat
 	if sc.Op == machine.OpBarrier && sc.Algorithm == coll.AlgHardware && !mc.m.HardwareBarrier() {
 		panic(fmt.Sprintf("sweep: %s has no hardware barrier", sc.Machine))
 	}
-	est := backend.Estimate(mc.m, sc.Op, algs, sc.P, sc.M, sc.Config)
+	est, err := backend.Estimate(context.Background(), mc.m, sc.Op, algs, sc.P, sc.M, sc.Config)
+	if err != nil {
+		// Background never cancels; a sweep backend that errors anyway
+		// (fault injection) is a harness misuse, not a sweep condition.
+		panic(fmt.Sprintf("sweep: %s: %v", sc.ID(), err))
+	}
 	if r.Cache != nil {
 		_ = r.Cache.Put(key, sc.ID(), est.Sample) // best-effort; a full disk must not fail the sweep
 	}
