@@ -1,0 +1,203 @@
+// Command fleetstat aggregates the /metrics endpoints of a fleet of
+// serve processes into one merged view. It scrapes every target on an
+// interval (bounded concurrency, per-target timeout), merges the
+// snapshots exactly — counters and gauges sum, histograms add
+// bucket-wise over the shared log₂ bounds — and re-exposes the result:
+//
+//	serve -addr :8080 &
+//	serve -addr :8081 &
+//	fleetstat -targets w0=localhost:8080,w1=localhost:8081 -addr :9090
+//
+//	curl -s localhost:9090/metrics       # fleet totals + per-instance series
+//	curl -s localhost:9090/fleet/status  # scrape health as JSON
+//
+// Every worker series appears twice: once under its original labels
+// holding the fleet-wide total, and once per worker with an
+// instance="<name>" label. The scraper's own health series
+// (fleet_instance_up, fleet_instance_stale, fleet_scrapes_total,
+// fleet_scrape_errors_total) mark dead or silent workers; a stale
+// worker's last good snapshot keeps contributing to the totals, so
+// counters never move backwards when an instance dies.
+//
+// One-shot mode skips the listener: -once scrapes every target a
+// single time and writes the merged view to stdout, as Prometheus text
+// or, with -json, as a {"status": …, "metrics": …} JSON document.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/fleet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		targets = flag.String("targets", "",
+			`comma-separated scrape targets, each "name=url" or a bare url; a url without a scheme gets http:// and a bare host:port gets /metrics appended (e.g. "w0=localhost:8080,w1=localhost:8081")`)
+		addr        = flag.String("addr", ":9090", "listen address for the merged view")
+		interval    = flag.Duration("interval", 5*time.Second, "scrape period")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-target scrape timeout")
+		staleAfter  = flag.Duration("stale-after", 0, "age after which an instance is marked stale (0 = 3×interval)")
+		concurrency = flag.Int("concurrency", 8, "scrapes in flight at once")
+		once        = flag.Bool("once", false, "scrape once, dump the merged view to stdout, and exit")
+		asJSON      = flag.Bool("json", false, "with -once, dump JSON (scrape status + merged snapshot) instead of Prometheus text")
+		quiet       = flag.Bool("quiet", false, "suppress startup logging")
+		logLevel    = flag.String("log-level", "info", "structured log level (debug logs each failed scrape)")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetstat:", err)
+		return 2
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
+	parsed, err := parseTargets(*targets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetstat:", err)
+		return 2
+	}
+	scraper, err := fleet.New(fleet.Config{
+		Targets:     parsed,
+		Interval:    *interval,
+		Timeout:     *timeout,
+		StaleAfter:  *staleAfter,
+		Concurrency: *concurrency,
+		Logger:      logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetstat:", err)
+		return 2
+	}
+
+	if *once {
+		return runOnce(scraper, *asJSON)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go scraper.Run(ctx)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		merged, err := scraper.Merged()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		merged.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /fleet/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(scraper.Status())
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- httpServer.Shutdown(shutdownCtx)
+	}()
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "fleetstat: scraping %d targets every %s, serving on %s\n",
+			len(parsed), *interval, *addr)
+	}
+	if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "fleetstat:", err)
+		return 1
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "fleetstat: shutdown:", err)
+		return 1
+	}
+	return 0
+}
+
+// runOnce scrapes every target a single time and dumps the merged view
+// to stdout. Exit status 1 means no target answered.
+func runOnce(scraper *fleet.Scraper, asJSON bool) int {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ok := scraper.ScrapeOnce(ctx)
+	merged, err := scraper.Merged()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetstat:", err)
+		return 1
+	}
+	if asJSON {
+		doc := struct {
+			Status  []fleet.InstanceStatus `json:"status"`
+			Metrics map[string]any         `json:"metrics"`
+		}{scraper.Status(), merged.Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetstat:", err)
+			return 1
+		}
+	} else if err := merged.WritePrometheus(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetstat:", err)
+		return 1
+	}
+	if ok == 0 {
+		fmt.Fprintln(os.Stderr, "fleetstat: no target answered")
+		return 1
+	}
+	return 0
+}
+
+// parseTargets expands the -targets flag: "name=url" pairs or bare
+// urls, scheme and /metrics path filled in when missing.
+func parseTargets(spec string) ([]fleet.Target, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("no -targets given")
+	}
+	var out []fleet.Target
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		var t fleet.Target
+		if name, url, ok := strings.Cut(item, "="); ok && !strings.Contains(name, "/") {
+			t = fleet.Target{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)}
+		} else {
+			t = fleet.Target{URL: item}
+		}
+		if !strings.Contains(t.URL, "://") {
+			t.URL = "http://" + t.URL
+		}
+		// A bare host:port scrapes the conventional metrics path.
+		if rest := t.URL[strings.Index(t.URL, "://")+3:]; !strings.Contains(rest, "/") {
+			t.URL += "/metrics"
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

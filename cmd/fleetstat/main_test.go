@@ -1,0 +1,27 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs/fleet"
+)
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets(" w0=localhost:8080, w1=http://10.0.0.2:8080/metrics ,localhost:9000,https://edge.example/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fleet.Target{
+		{Name: "w0", URL: "http://localhost:8080/metrics"},
+		{Name: "w1", URL: "http://10.0.0.2:8080/metrics"},
+		{URL: "http://localhost:9000/metrics"},
+		{URL: "https://edge.example/stats"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseTargets:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := parseTargets("  "); err == nil {
+		t.Fatal("empty -targets accepted")
+	}
+}

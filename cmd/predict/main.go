@@ -50,6 +50,7 @@ func main() {
 		grid      = flag.Bool("grid", false, "remote only: send the full default sweep grid instead of one scenario per machine")
 		timeout   = flag.Duration("timeout", 0, "remote only: per-request timeout (0 = none)")
 		retries   = flag.Int("retries", 3, "remote only: retry budget per request for transient failures (connect errors, 5xx, 429)")
+		traceID   = flag.String("trace-id", "", "remote only: X-Trace-Id sent on every request (\"\" generates one per run), correlating client retries with server-side logs and /debug/traces")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		os.Exit(runRemote(remoteOpts{
 			URL: *remote, Registry: *registryF, Codec: *codec, Op: *opName,
 			P: *p, M: *m, Repeat: *repeat, Grid: *grid,
-			Timeout: *timeout, Retries: *retries,
+			Timeout: *timeout, Retries: *retries, TraceID: *traceID,
 		}))
 	}
 

@@ -26,6 +26,10 @@ type remoteOpts struct {
 	Grid                     bool
 	Timeout                  time.Duration
 	Retries                  int
+	// TraceID rides on every request as X-Trace-Id — one fixed ID per
+	// run ("" generates one), so a request and all its retries carry the
+	// same identity and can be pulled from the server's /debug/traces.
+	TraceID string
 }
 
 // runRemote asks a running cmd/serve instance instead of evaluating
@@ -95,12 +99,20 @@ func runRemote(o remoteOpts) int {
 	if repeat < 1 {
 		repeat = 1
 	}
+	// One trace ID for the whole run: every request — and every retry of
+	// it — carries the same X-Trace-Id, so a failed load run can be
+	// pulled out of the server's access logs and /debug/traces by one
+	// grep.
+	traceID := o.TraceID
+	if traceID == "" {
+		traceID = fmt.Sprintf("predict-%x", time.Now().UnixNano())
+	}
 	var last []byte
 	var cacheHeader string
 	totalRetries := 0
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
-		blob, cache, retried, err := postWithRetry(client, endpoint, contentType, body, o.Retries)
+		blob, cache, retried, err := postWithRetry(client, endpoint, contentType, body, o.Retries, traceID)
 		totalRetries += retried
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "predict: %v (after %d retries)\n", err, retried)
@@ -115,7 +127,7 @@ func runRemote(o remoteOpts) int {
 		fmt.Fprintln(os.Stderr, "predict:", err)
 		return 1
 	}
-	fmt.Printf("remote %s (%s): %s, cache %s\n", url, codec, envelope, cacheHeader)
+	fmt.Printf("remote %s (%s): %s, cache %s, trace %s\n", url, codec, envelope, cacheHeader, traceID)
 	if grid {
 		fmt.Printf("  %d scenarios per request\n", len(answers))
 	} else {
@@ -139,10 +151,10 @@ func runRemote(o remoteOpts) int {
 // Retry-After (seconds) is honored when it exceeds the computed
 // backoff, so a shedding server paces its own retries. Returns the
 // response body, the X-Estimate-Cache header, and the retries spent.
-func postWithRetry(client *http.Client, endpoint, contentType string, body []byte, retries int) ([]byte, string, int, error) {
+func postWithRetry(client *http.Client, endpoint, contentType string, body []byte, retries int, traceID string) ([]byte, string, int, error) {
 	backoff := 100 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		blob, cache, retryAfter, err := postOnce(client, endpoint, contentType, body)
+		blob, cache, retryAfter, err := postOnce(client, endpoint, contentType, body, traceID)
 		if err == nil {
 			return blob, cache, attempt, nil
 		}
@@ -175,8 +187,14 @@ func isTransient(err error) bool {
 	return true // transport-level: connect refused, reset, timeout
 }
 
-func postOnce(client *http.Client, endpoint, contentType string, body []byte) (blob []byte, cache string, retryAfter time.Duration, err error) {
-	resp, err := client.Post(endpoint, contentType, bytes.NewReader(body))
+func postOnce(client *http.Client, endpoint, contentType string, body []byte, traceID string) (blob []byte, cache string, retryAfter time.Duration, err error) {
+	req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, "", 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set(serve.TraceIDHeader, traceID)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, "", 0, err
 	}

@@ -30,11 +30,17 @@
 // calibration provenance, so recalibration self-invalidates.
 //
 // Observability: GET /metrics exposes Prometheus-format counters and
-// stage-latency histograms, GET /debug/vars the same registry as
+// stage-latency histograms (plus Go runtime health and a
+// serve_build_info series), GET /debug/vars the same registry as
 // expvar-style JSON; -log-level debug adds one structured access-log
 // line per request, and -pprof-addr starts an opt-in net/http/pprof
 // listener on a separate address (its own mux — profiling is never
-// reachable through the serving address).
+// reachable through the serving address). Every response carries an
+// X-Trace-Id (inbound value honored, otherwise minted), and a sampled
+// ring of request traces — every -trace-sample'th request plus all
+// errors, degraded answers, and requests slower than -trace-slow — is
+// served as line-JSON at GET /debug/traces. Many serve processes
+// aggregate into one fleet view with cmd/fleetstat.
 //
 // Resilience: every request runs under a deadline (-request-timeout,
 // or per request via the X-Estimate-Deadline-Ms header); a deadline
@@ -57,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -92,6 +99,12 @@ func run() int {
 			"admission queue beyond the concurrency budget; excess requests are shed with 429 + Retry-After")
 		chaos = flag.String("chaos", "",
 			`inject faults into the fallback simulator, e.g. "error=0.05,panic=0.01,latency=0.2:50ms,seed=7" (dev only)`)
+		traceRing = flag.Int("trace-ring", 256,
+			"sampled request-trace ring capacity, served at GET /debug/traces (0 disables tracing)")
+		traceSample = flag.Int("trace-sample", 100,
+			"capture every Nth ok request into the trace ring (0 captures only errors, degraded, and slow requests)")
+		traceSlow = flag.Duration("trace-slow", time.Second,
+			"always capture requests at least this slow (0 disables the slow trigger)")
 	)
 	flag.Parse()
 
@@ -112,6 +125,11 @@ func run() int {
 		"discrete events executed by simulation kernels, process-wide", sim.KernelEvents)
 	obsReg.CounterFunc("sim_kernel_wakeups_total",
 		"process wakeups scheduled by simulation kernels, process-wide", sim.KernelWakeups)
+	runtimeMetrics(obsReg)
+	obsReg.Gauge("serve_build_info",
+		"constant 1; the labels carry the serving configuration and build version",
+		obs.Label{Key: "registry", Value: *registry},
+		obs.Label{Key: "version", Value: buildVersion()}).Set(1)
 
 	// makeRegistry builds the full serving registry from scratch —
 	// reopening the sweep cache so a reload picks up fits and error
@@ -182,6 +200,11 @@ func run() int {
 		Cache:       serve.NewAnswerCache(*answers),
 		DisableWire: !*wireMode,
 	}
+	if *traceRing > 0 {
+		server.Traces = obs.NewTraceRing(*traceRing)
+		server.TraceSample = *traceSample
+		server.TraceSlow = *traceSlow
+	}
 	if *pprofAddr != "" {
 		// pprof gets its own mux on its own listener: the profiling
 		// handlers are never reachable through the serving address, and
@@ -248,14 +271,54 @@ func run() int {
 		return 1
 	}
 	requests, scenarios, fallbacks := metrics.Totals()
-	logger.Info("drained",
+	drained := []obs.Field{
 		obs.F("requests", requests),
 		obs.F("scenarios", scenarios),
-		obs.F("fallbacks", fallbacks))
+		obs.F("fallbacks", fallbacks),
+	}
+	if server.Traces != nil {
+		drained = append(drained, obs.F("traces_sampled", server.Traces.Total()))
+		if last, ok := server.Traces.Last(); ok {
+			drained = append(drained, obs.F("last_trace_id", last.TraceID))
+		}
+	}
+	logger.Info("drained", drained...)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "serve: drained, bye")
 	}
 	return 0
+}
+
+// runtimeMetrics bridges Go runtime health into the metric registry —
+// read lazily at export time through the CounterFunc hooks, so idle
+// servers pay nothing between scrapes.
+func runtimeMetrics(reg *obs.Registry) {
+	reg.CounterFunc("go_goroutines",
+		"live goroutines, read at scrape time",
+		func() uint64 { return uint64(runtime.NumGoroutine()) })
+	reg.CounterFunc("go_heap_alloc_bytes",
+		"heap bytes allocated and still reachable, read at scrape time",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		})
+	reg.CounterFunc("go_gc_pause_total_ns",
+		"cumulative stop-the-world GC pause nanoseconds",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.PauseTotalNs
+		})
+}
+
+// buildVersion is the main module's version as stamped by the Go
+// toolchain — "(devel)" for plain `go build` trees.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // warmUp precalibrates every (machine, op, algorithm) triple of the

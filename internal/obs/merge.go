@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstanceLabel is the label key Merge stamps on per-source series.
+const InstanceLabel = "instance"
+
+// Merge combines per-process metric snapshots into one fleet view. For
+// every series it emits both
+//
+//   - a fleet-wide total under the original labels — counters and
+//     gauges sum, histograms merge bucket-wise (the log₂ bounds are
+//     fixed across processes, so bucket addition is exact: the merged
+//     histogram is identical to one process having made every
+//     observation), and
+//   - one series per source instance, the original labels plus
+//     instance="<name>", so per-worker numbers stay inspectable next
+//     to the totals.
+//
+// Families keep the first non-empty help string; a metric name
+// declared with different types across instances is a wiring error and
+// fails the merge. Instances are folded in name order, so the result
+// is deterministic.
+func Merge(instances map[string]*ParsedMetrics) (*ParsedMetrics, error) {
+	names := make([]string, 0, len(instances))
+	for name := range instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type mergedSeries struct {
+		total       *ParsedSeries
+		perInstance []*ParsedSeries
+	}
+	type mergedFamily struct {
+		fam    *ParsedFamily
+		byKey  map[string]*mergedSeries
+		order  []string
+		merged []*mergedSeries
+	}
+	byName := map[string]*mergedFamily{}
+	out := &ParsedMetrics{}
+
+	for _, inst := range names {
+		for _, f := range instances[inst].Families {
+			mf := byName[f.Name]
+			if mf == nil {
+				mf = &mergedFamily{
+					fam:   &ParsedFamily{Name: f.Name, Help: f.Help, Kind: f.Kind},
+					byKey: map[string]*mergedSeries{},
+				}
+				byName[f.Name] = mf
+				out.Families = append(out.Families, mf.fam)
+			}
+			if mf.fam.Kind != f.Kind {
+				return nil, fmt.Errorf("obs: merge: metric %q is %s on one instance and %s on %s",
+					f.Name, mf.fam.Kind, f.Kind, inst)
+			}
+			if mf.fam.Help == "" {
+				mf.fam.Help = f.Help
+			}
+			for _, s := range f.Series {
+				key := s.Key()
+				ms := mf.byKey[key]
+				if ms == nil {
+					ms = &mergedSeries{total: &ParsedSeries{
+						Labels: append([]Label(nil), s.Labels...),
+					}}
+					if f.Kind == "histogram" {
+						ms.total.Hist = &HistogramSnapshot{}
+					}
+					mf.byKey[key] = ms
+					mf.order = append(mf.order, key)
+					mf.merged = append(mf.merged, ms)
+				}
+				switch f.Kind {
+				case "counter":
+					ms.total.Counter += s.Counter
+				case "gauge":
+					ms.total.Gauge += s.Gauge
+				default:
+					addHistogram(ms.total.Hist, s.Hist)
+				}
+				withInst := append(append([]Label(nil), s.Labels...), Label{Key: InstanceLabel, Value: inst})
+				ms.perInstance = append(ms.perInstance, &ParsedSeries{
+					Labels: withInst, Counter: s.Counter, Gauge: s.Gauge, Hist: cloneHist(s.Hist),
+				})
+			}
+		}
+	}
+
+	for _, mf := range byName {
+		for _, ms := range mf.merged {
+			mf.fam.Series = append(mf.fam.Series, ms.total)
+			mf.fam.Series = append(mf.fam.Series, ms.perInstance...)
+		}
+	}
+	// Present in the stable export order; WritePrometheus re-sorts too,
+	// but consumers reading Families directly get determinism for free.
+	out.Families = out.sorted()
+	return out, nil
+}
+
+// addHistogram folds src into dst bucket-wise. Both use the fixed log₂
+// bounds, so the addition is exact.
+func addHistogram(dst *HistogramSnapshot, src *HistogramSnapshot) {
+	if src == nil {
+		return
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if len(src.Buckets) == 0 {
+		return
+	}
+	byLe := make(map[uint64]uint64, len(dst.Buckets)+len(src.Buckets))
+	for _, b := range dst.Buckets {
+		byLe[b.Le] += b.N
+	}
+	for _, b := range src.Buckets {
+		byLe[b.Le] += b.N
+	}
+	merged := make([]BucketSnapshot, 0, len(byLe))
+	for le, n := range byLe {
+		merged = append(merged, BucketSnapshot{Le: le, N: n})
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Le < merged[j].Le })
+	dst.Buckets = merged
+}
+
+func cloneHist(h *HistogramSnapshot) *HistogramSnapshot {
+	if h == nil {
+		return nil
+	}
+	cp := &HistogramSnapshot{Count: h.Count, Sum: h.Sum}
+	cp.Buckets = append(cp.Buckets, h.Buckets...)
+	return cp
+}

@@ -1,0 +1,426 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSeries is one labeled series of a parsed family. Exactly one of
+// the value fields is meaningful, matching the family's Kind.
+type ParsedSeries struct {
+	Labels  []Label
+	Counter uint64
+	Gauge   int64
+	Hist    *HistogramSnapshot
+}
+
+// Key renders the series labels — the family's dedup and sort key.
+func (s *ParsedSeries) Key() string { return renderLabels(s.Labels) }
+
+// ParsedFamily is all parsed series sharing one metric name.
+type ParsedFamily struct {
+	Name, Help string
+	Kind       string // "counter", "gauge", or "histogram"
+	Series     []*ParsedSeries
+}
+
+// ParsedMetrics is a typed snapshot recovered from the Prometheus text
+// format — what one scrape of a worker's GET /metrics yields. It
+// round-trips exactly with Registry.WritePrometheus: parsing an export
+// and re-writing it reproduces the bytes, and Snapshot reproduces
+// Registry.Snapshot.
+type ParsedMetrics struct {
+	Families []*ParsedFamily
+}
+
+// histKey groups one histogram series' text lines by its labels minus
+// the synthetic le dimension.
+type histAssembly struct {
+	labels []Label
+	// cum is the cumulative count of the last bucket line seen; buckets
+	// holds the recovered per-bucket counts.
+	cum     uint64
+	buckets []BucketSnapshot
+	sum     uint64
+	count   uint64
+	sawInf  bool
+}
+
+// ParsePrometheus parses the subset of the Prometheus text exposition
+// format that WritePrometheus emits: # HELP / # TYPE headers, integer
+// counter and gauge samples, and histograms as cumulative le-bounded
+// buckets over the fixed log₂ bounds (0, 1, 3, 7, …, 2^i − 1) plus
+// _sum and _count. Families keep their input order; Snapshot and
+// WritePrometheus sort, matching the Registry exports.
+func ParsePrometheus(data []byte) (*ParsedMetrics, error) {
+	out := &ParsedMetrics{}
+	byName := map[string]*ParsedFamily{}
+	// Histogram series under assembly: family name → rendered labels
+	// (minus le) → builder.
+	hists := map[string]map[string]*histAssembly{}
+	histOrder := map[string][]string{}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // an unknown comment form; ignore like Prometheus does
+			}
+			f := byName[name]
+			if f == nil {
+				f = &ParsedFamily{Name: name}
+				byName[name] = f
+				out.Families = append(out.Families, f)
+			}
+			switch kind {
+			case "HELP":
+				f.Help = rest
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram":
+					f.Kind = rest
+				default:
+					return nil, fmt.Errorf("obs: line %d: unsupported metric type %q", lineNo, rest)
+				}
+				if rest == "histogram" {
+					hists[name] = map[string]*histAssembly{}
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		// Histogram sample lines carry the family name plus a _bucket,
+		// _sum, or _count suffix.
+		if base, suffix, ok := histBase(name, hists); ok {
+			if err := addHistSample(hists[base], histOrder, base, suffix, labels, value); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		f := byName[name]
+		if f == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q precedes its # TYPE header", lineNo, name)
+		}
+		s := &ParsedSeries{Labels: labels}
+		switch f.Kind {
+		case "counter":
+			v, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: counter %s: %w", lineNo, name, err)
+			}
+			s.Counter = v
+		case "gauge":
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: gauge %s: %w", lineNo, name, err)
+			}
+			s.Gauge = v
+		default:
+			return nil, fmt.Errorf("obs: line %d: sample %q has no usable # TYPE", lineNo, name)
+		}
+		f.Series = append(f.Series, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading metrics text: %w", err)
+	}
+	// Fold the assembled histograms into their families, preserving the
+	// order their first line appeared in.
+	for name, perLabels := range hists {
+		f := byName[name]
+		for _, key := range histOrder[name] {
+			h := perLabels[key]
+			if !h.sawInf {
+				return nil, fmt.Errorf("obs: histogram %s%s is missing its +Inf bucket", name, key)
+			}
+			f.Series = append(f.Series, &ParsedSeries{
+				Labels: h.labels,
+				Hist:   &HistogramSnapshot{Count: h.count, Sum: h.sum, Buckets: h.buckets},
+			})
+		}
+	}
+	return out, nil
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest".
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample splits one sample line into name, labels, and the raw
+// value text.
+func parseSample(line string) (name string, labels []Label, value string, err error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("unparseable sample line %q", line)
+	}
+	nameAndLabels, value := line[:i], line[i+1:]
+	if j := strings.IndexByte(nameAndLabels, '{'); j >= 0 {
+		if !strings.HasSuffix(nameAndLabels, "}") {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		name = nameAndLabels[:j]
+		labels, err = parseLabels(nameAndLabels[j+1 : len(nameAndLabels)-1])
+		if err != nil {
+			return "", nil, "", fmt.Errorf("labels of %q: %w", line, err)
+		}
+	} else {
+		name = nameAndLabels
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels decodes `k="v",k2="v2"` with the text format's escapes.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		var b strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return nil, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("dangling escape in label value for %q", key)
+				}
+				switch rest[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("unknown escape \\%c in label value for %q", rest[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		out = append(out, Label{Key: key, Value: b.String()})
+		s = rest[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between label pairs, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// histBase reports whether name is a histogram sample of a declared
+// histogram family, returning the family name and the _bucket/_sum/
+// _count suffix.
+func histBase(name string, hists map[string]map[string]*histAssembly) (base, suffix string, ok bool) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suffix); found {
+			if _, declared := hists[base]; declared {
+				return base, suffix, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// addHistSample folds one _bucket/_sum/_count line into its series
+// assembly, recovering per-bucket counts from the cumulative text form.
+func addHistSample(perLabels map[string]*histAssembly, order map[string][]string, base, suffix string, labels []Label, value string) error {
+	// The le label is synthetic: strip it before keying the series.
+	le := ""
+	kept := labels
+	if suffix == "_bucket" {
+		kept = make([]Label, 0, len(labels))
+		for _, l := range labels {
+			if l.Key == "le" {
+				le = l.Value
+				continue
+			}
+			kept = append(kept, l)
+		}
+		if le == "" {
+			return fmt.Errorf("histogram %s bucket without an le label", base)
+		}
+	}
+	key := renderLabels(kept)
+	h := perLabels[key]
+	if h == nil {
+		h = &histAssembly{labels: kept}
+		perLabels[key] = h
+		order[base] = append(order[base], key)
+	}
+	v, err := strconv.ParseUint(value, 10, 64)
+	if err != nil {
+		return fmt.Errorf("histogram %s%s value: %w", base, suffix, err)
+	}
+	switch suffix {
+	case "_sum":
+		h.sum = v
+	case "_count":
+		h.count = v
+	case "_bucket":
+		if le == "+Inf" {
+			h.sawInf = true
+			// All observations live in the finite log₂ buckets, so +Inf
+			// only restates the last cumulative value; a larger value
+			// would mean observations this parser cannot place.
+			if v < h.cum {
+				return fmt.Errorf("histogram %s: +Inf bucket %d below cumulative %d", base, v, h.cum)
+			}
+			if v > h.cum {
+				return fmt.Errorf("histogram %s: %d observations beyond the log2 bucket bounds", base, v-h.cum)
+			}
+			return nil
+		}
+		bound, err := strconv.ParseUint(le, 10, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s le=%q: %w", base, le, err)
+		}
+		if _, err := bucketIndex(bound); err != nil {
+			return fmt.Errorf("histogram %s: %w", base, err)
+		}
+		if v < h.cum {
+			return fmt.Errorf("histogram %s: bucket le=%s cumulative %d below previous %d", base, le, v, h.cum)
+		}
+		if n := v - h.cum; n > 0 {
+			h.buckets = append(h.buckets, BucketSnapshot{Le: bound, N: n})
+		}
+		h.cum = v
+	}
+	return nil
+}
+
+// bucketIndex inverts bucketBound: 0 → 0, 2^i − 1 → i.
+func bucketIndex(bound uint64) (int, error) {
+	if bound == 0 {
+		return 0, nil
+	}
+	i := bits.Len64(bound)
+	if bucketBound(i) != bound {
+		return 0, fmt.Errorf("le=%d is not a log2 bucket bound", bound)
+	}
+	return i, nil
+}
+
+// Snapshot flattens the parsed metrics into the Registry.Snapshot
+// shape: "name{labels}" → uint64 (counter), int64 (gauge), or
+// HistogramSnapshot.
+func (p *ParsedMetrics) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range p.Families {
+		for _, s := range f.Series {
+			name := f.Name + s.Key()
+			switch f.Kind {
+			case "counter":
+				out[name] = s.Counter
+			case "gauge":
+				out[name] = s.Gauge
+			default:
+				out[name] = *s.Hist
+			}
+		}
+	}
+	return out
+}
+
+// sorted returns the families sorted by name, each with series sorted
+// by rendered labels — the stable export order, matching
+// Registry.sortedFamilies.
+func (p *ParsedMetrics) sorted() []*ParsedFamily {
+	fams := make([]*ParsedFamily, len(p.Families))
+	copy(fams, p.Families)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	for _, f := range fams {
+		sort.Slice(f.Series, func(i, j int) bool { return f.Series[i].Key() < f.Series[j].Key() })
+	}
+	return fams
+}
+
+// WritePrometheus re-emits the parsed metrics in the same text format
+// Registry.WritePrometheus produces; parse → write round-trips
+// byte-identically.
+func (p *ParsedMetrics) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range p.sorted() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case "counter":
+				fmt.Fprintf(bw, "%s%s %d\n", f.Name, s.Key(), s.Counter)
+			case "gauge":
+				fmt.Fprintf(bw, "%s%s %d\n", f.Name, s.Key(), s.Gauge)
+			default:
+				writeParsedHistogram(bw, f.Name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeParsedHistogram mirrors writePromHistogram over a recovered
+// snapshot: cumulative buckets up to the highest non-empty bound, then
+// +Inf, _sum, and _count.
+func writeParsedHistogram(w io.Writer, name string, s *ParsedSeries) {
+	var counts [numHistBuckets]uint64
+	top := -1
+	for _, b := range s.Hist.Buckets {
+		i, err := bucketIndex(b.Le)
+		if err != nil {
+			continue // unreachable for rings built by ParsePrometheus or Merge
+		}
+		counts[i] += b.N
+		if i > top {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(s.Labels, strconv.FormatUint(bucketBound(i), 10)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(s.Labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, s.Key(), s.Hist.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.Key(), s.Hist.Count)
+}

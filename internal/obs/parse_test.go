@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// exportRegistry builds a registry exercising every series shape the
+// text format can carry: plain and labeled counters, a CounterFunc, a
+// negative gauge, an escaped label value, an empty histogram, and
+// histograms with zero, small, and maximal observations.
+func exportRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("plain_total", "a bare counter").Add(42)
+	r.Counter("labeled_total", "a labeled counter", Label{"op", "sum"}).Add(7)
+	r.Counter("labeled_total", "a labeled counter", Label{"op", "max"}).Add(1 << 60)
+	r.CounterFunc("fn_total", "an export-time counter", func() uint64 { return 12345 })
+	r.Gauge("depth", "a gauge that can go negative").Set(-3)
+	r.Gauge("esc", "escaped label value", Label{"v", "a\"b\\c\nd"}).Set(9)
+	r.Histogram("empty_ns", "a histogram nothing observed")
+	h := r.Histogram("lat_ns", "a busy histogram", Label{"stage", "decode"})
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(7)
+	h.Observe(8)
+	h.Observe(123456)
+	h.Observe(math.MaxUint64)
+	r.Histogram("lat_ns", "a busy histogram", Label{"stage", "encode"}).Observe(300)
+	return r
+}
+
+// TestParseRoundTripsSnapshot is the exactness contract the fleet
+// aggregation stands on: Parse(WritePrometheus(r)) reproduces
+// Snapshot(r) exactly — counters (including CounterFunc series),
+// gauges, and histograms down to empty ones.
+func TestParseRoundTripsSnapshot(t *testing.T) {
+	r := exportRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parsing own export:\n%s\n%v", buf.String(), err)
+	}
+	got, want := parsed.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed snapshot differs:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestParseRoundTripsBytes: parse → write reproduces the export
+// byte-for-byte, so a re-exported scrape is indistinguishable from the
+// original.
+func TestParseRoundTripsBytes(t *testing.T) {
+	r := exportRegistry()
+	var orig bytes.Buffer
+	if err := r.WritePrometheus(&orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(orig.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if err := parsed.WritePrometheus(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), re.Bytes()) {
+		t.Fatalf("re-export differs:\n--- original\n%s\n--- re-export\n%s", orig.String(), re.String())
+	}
+}
+
+// TestParseRoundTripProperty fuzzes the contract over seeded random
+// registries: any mix of counters, gauges, and histograms survives the
+// text format unchanged.
+func TestParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 50; trial++ {
+		r := NewRegistry()
+		for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+			name := fmt.Sprintf("m%d_total", rng.Intn(4))
+			var labels []Label
+			if rng.Intn(2) == 1 {
+				labels = append(labels, Label{"l", fmt.Sprintf("v%d", rng.Intn(3))})
+			}
+			switch rng.Intn(3) {
+			case 0:
+				r.Counter(name, "c", labels...).Add(rng.Uint64() >> uint(rng.Intn(64)))
+			case 1:
+				r.Gauge("g"+name, "g", labels...).Set(rng.Int63() - rng.Int63())
+			default:
+				h := r.Histogram("h"+name, "h", labels...)
+				for j, m := 0, rng.Intn(20); j < m; j++ {
+					h.Observe(rng.Uint64() >> uint(rng.Intn(64)))
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParsePrometheus(buf.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if got, want := parsed.Snapshot(), r.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: snapshot mismatch\n got %#v\nwant %#v", trial, got, want)
+		}
+		var re bytes.Buffer
+		if err := parsed.WritePrometheus(&re); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), re.Bytes()) {
+			t.Fatalf("trial %d: bytes differ\n%s\nvs\n%s", trial, buf.String(), re.String())
+		}
+	}
+}
+
+func TestParseRejectsMalformedInput(t *testing.T) {
+	for _, tc := range []struct{ name, text string }{
+		{"untyped sample", "foo_total 3\n"},
+		{"bad counter value", "# TYPE foo_total counter\nfoo_total -1\n"},
+		{"bad type", "# TYPE foo summary\nfoo 1\n"},
+		{"unterminated labels", "# TYPE foo counter\nfoo{a=\"b\" 1\n"},
+		{"non-log2 bucket", "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 1\n"},
+		{"shrinking cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"3\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 3\nh_count 3\n"},
+	} {
+		if _, err := ParsePrometheus([]byte(tc.text)); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+}

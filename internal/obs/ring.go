@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// TraceRecord is one sampled request, frozen for the trace ring: the
+// identity and outcome of the request plus its per-stage nanoseconds.
+// Records are immutable once pushed — the ring stores pointers and
+// swaps them atomically, so readers never see a half-written record.
+type TraceRecord struct {
+	// Seq is the ring-assigned capture sequence number (1-based,
+	// monotonic); newer records have higher values even after the ring
+	// wraps.
+	Seq uint64 `json:"seq"`
+	// TraceID is the request's X-Trace-Id — inbound or generated.
+	TraceID string `json:"trace_id"`
+	// StartUnixNano and DurationNS place the request on the wall clock.
+	StartUnixNano int64 `json:"start_unix_ns"`
+	DurationNS    int64 `json:"duration_ns"`
+	// Status and Outcome are the HTTP status and its coarse label
+	// ("ok", "degraded", "deadline_exceeded", "client_error",
+	// "server_error").
+	Status  int    `json:"status"`
+	Outcome string `json:"outcome"`
+	// Registry names the expression set that answered (empty when the
+	// request failed before resolving one).
+	Registry string `json:"registry,omitempty"`
+	// Scenario-level accounting of a served request.
+	Scenarios   int `json:"scenarios"`
+	Fallbacks   int `json:"fallbacks,omitempty"`
+	Degraded    int `json:"degraded,omitempty"`
+	Bounds      int `json:"bounds,omitempty"`
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
+	// Stages is the per-stage nanosecond breakdown, one key per
+	// obs.Stage ("decode" … "encode"); estimate and bounds sum worker
+	// time on parallel batches.
+	Stages map[string]int64 `json:"stage_ns,omitempty"`
+}
+
+// StagesFrom flattens tr's spans into the record's Stages map, one key
+// per pipeline stage (all six present, so consumers never need to
+// distinguish "zero" from "missing").
+func (rec *TraceRecord) StagesFrom(tr *Trace) {
+	m := make(map[string]int64, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		m[st.String()] = tr.NS(st)
+	}
+	rec.Stages = m
+}
+
+// TraceRing is a bounded ring of sampled trace records. Push claims a
+// slot with one atomic add and publishes the record with one atomic
+// pointer store — no locks, safe for concurrent writers — and readers
+// load the same pointers, so a scrape never blocks the request path.
+// When the ring is full the oldest record is overwritten. A nil
+// *TraceRing is a valid no-op.
+type TraceRing struct {
+	slots []atomic.Pointer[TraceRecord]
+	seq   atomic.Uint64
+}
+
+// NewTraceRing returns a ring keeping the last n records (n < 1 is
+// clamped to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[TraceRecord], n)}
+}
+
+// Push captures one record, assigning its sequence number. The record
+// must not be mutated afterwards.
+func (r *TraceRing) Push(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	seq := r.seq.Add(1)
+	rec.Seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&rec)
+}
+
+// Total is the lifetime number of records pushed (captured), including
+// those since overwritten.
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Cap is the ring's capacity.
+func (r *TraceRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Records returns the ring's current contents, oldest first. Under
+// concurrent pushes the result is a consistent set of point-in-time
+// records, though neighbors may straddle a wrap.
+func (r *TraceRing) Records() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]TraceRecord, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Last returns the newest record, if any.
+func (r *TraceRing) Last() (TraceRecord, bool) {
+	recs := r.Records()
+	if len(recs) == 0 {
+		return TraceRecord{}, false
+	}
+	return recs[len(recs)-1], true
+}
+
+// WriteLineJSON emits the ring oldest-first, one JSON object per line —
+// the GET /debug/traces format.
+func (r *TraceRing) WriteLineJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.Records() {
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRingBasics(t *testing.T) {
+	var nilRing *TraceRing
+	nilRing.Push(TraceRecord{TraceID: "x"}) // no-op, no panic
+	if nilRing.Total() != 0 || nilRing.Cap() != 0 || nilRing.Records() != nil {
+		t.Fatal("nil ring should be empty")
+	}
+
+	r := NewTraceRing(4)
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty ring reported a last record")
+	}
+	for i := 1; i <= 6; i++ {
+		r.Push(TraceRecord{TraceID: fmt.Sprintf("t%d", i), Status: 200, Outcome: "ok"})
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring of 4 holds %d records", len(recs))
+	}
+	// Oldest two were overwritten; survivors are t3..t6 oldest-first.
+	for i, want := range []string{"t3", "t4", "t5", "t6"} {
+		if recs[i].TraceID != want {
+			t.Errorf("record %d = %s, want %s", i, recs[i].TraceID, want)
+		}
+		if recs[i].Seq != uint64(i+3) {
+			t.Errorf("record %d seq = %d, want %d", i, recs[i].Seq, i+3)
+		}
+	}
+	if r.Total() != 6 {
+		t.Errorf("Total = %d, want 6", r.Total())
+	}
+	last, ok := r.Last()
+	if !ok || last.TraceID != "t6" {
+		t.Errorf("Last = %+v, want t6", last)
+	}
+}
+
+func TestTraceRingLineJSON(t *testing.T) {
+	r := NewTraceRing(8)
+	tr := &Trace{}
+	tr.Add(StageDecode, 100)
+	tr.Add(StageEstimate, 2500)
+	tr.Begin(time.Unix(0, 1000))
+	tr.Finish(time.Unix(0, 4000), "ok")
+	rec := TraceRecord{
+		TraceID:       "abc-1",
+		StartUnixNano: tr.Start.UnixNano(),
+		DurationNS:    tr.Duration().Nanoseconds(),
+		Status:        200,
+		Outcome:       tr.Outcome,
+		Registry:      "test",
+		Scenarios:     3,
+	}
+	rec.StagesFrom(tr)
+	r.Push(rec)
+	r.Push(TraceRecord{TraceID: "abc-2", Status: 504, Outcome: "deadline_exceeded"})
+
+	var buf bytes.Buffer
+	if err := r.WriteLineJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var got TraceRecord
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != "abc-1" || got.DurationNS != 3000 || got.Outcome != "ok" {
+		t.Errorf("decoded %+v", got)
+	}
+	// All six stages present even when only two accumulated time.
+	if len(got.Stages) != int(NumStages) {
+		t.Errorf("stage keys = %d, want %d (%v)", len(got.Stages), NumStages, got.Stages)
+	}
+	if got.Stages["estimate"] != 2500 || got.Stages["decode"] != 100 {
+		t.Errorf("stage values %v", got.Stages)
+	}
+}
+
+// TestTraceRingConcurrent hammers the ring from parallel writers while
+// readers scrape it — the race-gated proof that Push and Records can
+// interleave freely (CI runs this package under -race).
+func TestTraceRingConcurrent(t *testing.T) {
+	const writers, perWriter, readers = 8, 500, 4
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range r.Records() {
+					if rec.TraceID == "" {
+						t.Error("scraped a half-written record")
+						return
+					}
+				}
+				r.Last()
+				var sink bytes.Buffer
+				r.WriteLineJSON(&sink)
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			tr := &Trace{}
+			tr.Add(StageEncode, time.Duration(g))
+			for i := 0; i < perWriter; i++ {
+				rec := TraceRecord{TraceID: fmt.Sprintf("w%d-%d", g, i), Status: 200, Outcome: "ok"}
+				rec.StagesFrom(tr)
+				r.Push(rec)
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+	recs := r.Records()
+	if len(recs) != 64 {
+		t.Fatalf("ring holds %d records, want 64", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("records out of order: seq %d after %d", recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+}

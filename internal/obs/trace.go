@@ -55,8 +55,22 @@ func (s Stage) String() string {
 // summed worker time, which can exceed the request's wall clock on a
 // parallel batch. A nil *Trace is a valid no-op — un-instrumented
 // requests pass nil and pay one branch per stage.
+//
+// Beyond the stage spans, a trace carries the request's wall-clock
+// start and end plus a terminal outcome label. Those are plain fields:
+// the single goroutine that owns the request sets them before fan-out
+// and after join, so they need no synchronization of their own.
 type Trace struct {
 	ns [NumStages]atomic.Int64
+
+	// Start and End bracket the request on the wall clock; set by Begin
+	// and Finish. End minus Start is the request's true latency, unlike
+	// the estimate/bounds stages, which sum worker time.
+	Start, End time.Time
+	// Outcome is the request's terminal label ("ok", "degraded",
+	// "deadline_exceeded", "client_error", "server_error"), set by
+	// Finish.
+	Outcome string
 }
 
 // Add charges d to stage s.
@@ -72,4 +86,27 @@ func (t *Trace) NS(s Stage) int64 {
 		return 0
 	}
 	return t.ns[s].Load()
+}
+
+// Begin stamps the request's wall-clock start.
+func (t *Trace) Begin(now time.Time) {
+	if t != nil {
+		t.Start = now
+	}
+}
+
+// Finish stamps the wall-clock end and the terminal outcome.
+func (t *Trace) Finish(now time.Time, outcome string) {
+	if t != nil {
+		t.End = now
+		t.Outcome = outcome
+	}
+}
+
+// Duration is the request's wall-clock latency (zero before Finish).
+func (t *Trace) Duration() time.Duration {
+	if t == nil || t.End.Before(t.Start) {
+		return 0
+	}
+	return t.End.Sub(t.Start)
 }

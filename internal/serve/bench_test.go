@@ -16,8 +16,10 @@ import (
 // BenchmarkServeThroughput measures the service's request rate through
 // the full HTTP handler stack (decode, validate, estimate, encode) on
 // the warm calibrated registry — single-scenario requests vs the
-// batched default grid, each plain and with metrics attached (the -obs
-// variants; scripts/bench.sh gates their overhead at 5%). Tracked by
+// batched default grid, each plain, with metrics attached (the -obs
+// variants), and with metrics plus sampled tracing (the -trace
+// variants: a 64-slot ring at 1-in-100 sampling, the production
+// shape); scripts/bench.sh gates both overheads at 5%. Tracked by
 // scripts/bench.sh; non-gating.
 func BenchmarkServeThroughput(b *testing.B) {
 	memo := estimate.NewSampleMemo()
@@ -62,11 +64,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 	for _, v := range []struct {
 		suffix  string
 		metrics *Metrics
+		traces  *obs.TraceRing
 	}{
-		{"", nil},
-		{"-obs", NewMetrics(obs.NewRegistry())},
+		{"", nil, nil},
+		{"-obs", NewMetrics(obs.NewRegistry()), nil},
+		{"-trace", NewMetrics(obs.NewRegistry()), obs.NewTraceRing(64)},
 	} {
-		s := &Server{Registry: reg, Default: "refit-default", Sim: estimate.Sim{Memo: memo}, Obs: v.metrics}
+		s := &Server{Registry: reg, Default: "refit-default", Sim: estimate.Sim{Memo: memo},
+			Obs: v.metrics, Traces: v.traces, TraceSample: 100}
 		handler := s.Handler()
 		post := func(body []byte) *httptest.ResponseRecorder {
 			req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))

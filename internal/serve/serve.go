@@ -158,6 +158,19 @@ type Server struct {
 	// line per estimate request with outcome and per-stage timings.
 	// Lifecycle messages (listening, draining) belong to the caller.
 	Logger *obs.Logger
+	// Traces, when non-nil, receives sampled request traces and mounts
+	// GET /debug/traces. Which requests are captured is decided by
+	// TraceSample and TraceSlow: every TraceSample-th request plus
+	// always-on for errors, degraded answers, deadline-exceeded, and
+	// slow requests. Nil disables capture entirely.
+	Traces *obs.TraceRing
+	// TraceSample captures every Nth estimate request into Traces;
+	// 0 samples none periodically (errors and slow requests are still
+	// always captured).
+	TraceSample int
+	// TraceSlow always captures requests whose wall-clock latency
+	// reaches it; 0 disables the slow trigger.
+	TraceSlow time.Duration
 
 	// reg holds the hot-reloaded registry; nil until the first swap,
 	// after which it overrides the Registry field (see registry()).
@@ -177,6 +190,15 @@ type Server struct {
 	// answers even over one AnswerCache.
 	cfgOnce   sync.Once
 	cfgDigest string
+	// traceOnce/traceSeed/traceN mint per-request trace IDs: a start-time
+	// seed fixed once, then one atomic add per generated ID (no
+	// crypto/rand on the hot path). traceCount drives the every-Nth
+	// sampling policy and counts only ok requests (errors are always
+	// captured, so they never consume a sampling slot).
+	traceOnce  sync.Once
+	traceSeed  uint64
+	traceN     atomic.Uint64
+	traceCount atomic.Uint64
 	// triples caches name binding per (machine, op, algorithm) triple:
 	// the preset constructors build a fresh machine (and algorithm
 	// table) on every lookup, which would otherwise dominate a batched
@@ -196,9 +218,10 @@ type tripleKey struct {
 const maxBodyBytes = 16 << 20
 
 // Handler returns the service's HTTP handler. Every route runs behind
-// the panic-recovery middleware: a handler panic answers 500 instead of
-// killing the connection, and the in-flight gauge (decremented by
-// defer) never leaks.
+// the panic-recovery middleware — a handler panic answers 500 instead
+// of killing the connection, and the in-flight gauge (decremented by
+// defer) never leaks — and the trace-ID middleware wraps that, so every
+// response down to a recovered panic echoes X-Trace-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
@@ -210,7 +233,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
 		mux.HandleFunc("GET /debug/vars", s.handleVars)
 	}
-	return s.recoverPanics(mux)
+	if s.Traces != nil {
+		mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	}
+	return s.withTraceID(s.recoverPanics(mux))
 }
 
 // recoverPanics converts a panicking handler into a 500 response. The
@@ -345,33 +371,41 @@ type resolved struct {
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if s.Gate != nil {
 		if err := s.Gate.Acquire(r.Context(), s.Obs.queueDepth()); err != nil {
-			s.shed(w, err)
+			s.shed(w, r, err)
 			return
 		}
 		defer s.Gate.Release()
 	}
 	logging := s.Logger.Enabled(obs.LevelDebug)
-	if s.Obs == nil && !logging {
+	tracing := s.Traces != nil
+	if s.Obs == nil && !logging && !tracing {
 		s.serveEstimate(w, r, nil)
 		return
 	}
 	var tr obs.Trace
-	var start time.Time
-	if logging {
-		start = time.Now()
+	if logging || tracing {
+		tr.Begin(time.Now())
 	}
 	s.Obs.begin()
 	defer s.Obs.end() // deferred so a panicking request (recovered by net/http) can't leak the in-flight gauge
 	st := s.serveEstimate(w, r, &tr)
 	s.Obs.observe(st, &tr)
+	if !logging && !tracing {
+		return
+	}
+	tr.Finish(time.Now(), traceOutcome(st))
+	if tracing {
+		s.captureTrace(TraceIDFrom(r.Context()), st, &tr)
+	}
 	if logging {
 		s.Logger.Debug("estimate",
+			obs.F("trace_id", TraceIDFrom(r.Context())),
 			obs.F("status", st.status),
 			obs.F("registry", st.registry),
 			obs.F("scenarios", st.scenarios),
 			obs.F("fallbacks", st.fallbacks),
 			obs.F("bounds", st.bounds),
-			obs.F("duration_ns", time.Since(start).Nanoseconds()),
+			obs.F("duration_ns", tr.Duration().Nanoseconds()),
 			obs.F("stage_ns", stageNS(&tr)))
 	}
 }
@@ -380,8 +414,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // with Retry-After (the client should back off and retry), a request
 // that expired while queued is 503. Shed requests are counted in
 // serve_shed_total{reason} and the request-outcome series but touch
-// nothing else — the point of shedding is to stay cheap.
-func (s *Server) shed(w http.ResponseWriter, err error) {
+// nothing else — the point of shedding is to stay cheap. They are
+// still errors, so the trace ring always captures them (with empty
+// stages: the request never reached the worker pool).
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, err error) {
 	st := reqStats{codec: codecUnknown}
 	if errors.Is(err, ErrQueueFull) {
 		st.status = http.StatusTooManyRequests
@@ -394,6 +430,13 @@ func (s *Server) shed(w http.ResponseWriter, err error) {
 		writeError(w, st.status, fmt.Errorf("request expired in the admission queue: %v", err))
 	}
 	s.Obs.observe(st, nil)
+	if s.Traces != nil {
+		var tr obs.Trace
+		now := time.Now()
+		tr.Begin(now)
+		tr.Finish(now, traceOutcome(st))
+		s.captureTrace(TraceIDFrom(r.Context()), st, &tr)
+	}
 }
 
 // deadlineHeader is the per-request deadline override, in milliseconds.

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// postTraced posts body with an explicit X-Trace-Id header ("" sends
+// none) and returns the recorded response.
+func postTraced(t *testing.T, s *Server, body, traceID string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate", strings.NewReader(body))
+	if traceID != "" {
+		req.Header.Set(TraceIDHeader, traceID)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+const okScenario = `{"machine":"T3D","op":"broadcast","p":8,"m":1024}`
+
+// TestTraceIDEchoedOnEveryResponse: the header appears on 200s, on
+// every error family, and on non-estimate routes — with an inbound
+// value honored and a missing or hostile one replaced by a minted ID.
+func TestTraceIDEchoedOnEveryResponse(t *testing.T) {
+	s := testServer(t)
+	instrument(s)
+
+	// Valid inbound ID is honored verbatim.
+	if got := postTraced(t, s, okScenario, "client-retry-7").Header().Get(TraceIDHeader); got != "client-retry-7" {
+		t.Fatalf("inbound trace ID not honored: %q", got)
+	}
+	// Absent → minted, non-empty, and unique per request.
+	a := postTraced(t, s, okScenario, "").Header().Get(TraceIDHeader)
+	b := postTraced(t, s, okScenario, "").Header().Get(TraceIDHeader)
+	if a == "" || b == "" || a == b {
+		t.Fatalf("minted IDs %q, %q: want distinct non-empty", a, b)
+	}
+	// Hostile inbound values (spaces, quotes, oversized) are replaced.
+	for _, bad := range []string{"has space", `has"quote`, strings.Repeat("x", 129)} {
+		if got := postTraced(t, s, okScenario, bad).Header().Get(TraceIDHeader); got == bad || got == "" {
+			t.Errorf("hostile ID %q echoed as %q; want a minted replacement", bad, got)
+		}
+	}
+
+	// Error paths: 400 (bad body), 415 (bad content type), 404 (unknown
+	// route) — every one carries the header.
+	for name, rec := range map[string]*httptest.ResponseRecorder{
+		"400 bad body":  postTraced(t, s, `{oops`, ""),
+		"415 bad ct":    postCT(t, s, "text/plain", []byte(okScenario)),
+		"404 bad route": get(t, s, "/nope"),
+		"200 registry":  get(t, s, "/v1/registry"),
+		"200 metrics":   get(t, s, "/metrics"),
+	} {
+		if rec.Header().Get(TraceIDHeader) == "" {
+			t.Errorf("%s: no %s header (status %d)", name, TraceIDHeader, rec.Code)
+		}
+	}
+}
+
+// TestTraceIDEchoedOnShed: a request refused at the admission gate —
+// before the worker pool — still echoes its trace ID, and lands in the
+// trace ring (errors are always captured) with empty stages.
+func TestTraceIDEchoedOnShed(t *testing.T) {
+	s, bb := gateServer(t, 1, 0)
+	s.Traces = obs.NewTraceRing(16)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rec := post(t, s, gateBody, ""); rec.Code != http.StatusOK {
+			t.Errorf("holder request: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}()
+	<-bb.entered
+
+	rec := postTraced(t, s, gateBody, "shed-me-1")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(TraceIDHeader); got != "shed-me-1" {
+		t.Fatalf("shed response trace ID %q, want shed-me-1", got)
+	}
+	close(bb.release)
+	wg.Wait()
+
+	var shedRec obs.TraceRecord
+	found := false
+	for _, r := range s.Traces.Records() {
+		if r.TraceID == "shed-me-1" {
+			shedRec, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("shed request missing from trace ring: %+v", s.Traces.Records())
+	}
+	if shedRec.Status != http.StatusTooManyRequests || shedRec.Outcome != "client_error" {
+		t.Errorf("shed record %+v", shedRec)
+	}
+	for stage, ns := range shedRec.Stages {
+		if ns != 0 {
+			t.Errorf("shed record charged stage %s = %d ns; it never reached the pool", stage, ns)
+		}
+	}
+}
+
+// TestTraceSamplingPolicy: every Nth ok request is captured; errors and
+// slow requests are always captured and never consume a sampling slot.
+func TestTraceSamplingPolicy(t *testing.T) {
+	s := testServer(t)
+	s.Traces = obs.NewTraceRing(64)
+	s.TraceSample = 3
+
+	for i := 0; i < 7; i++ {
+		if rec := post(t, s, okScenario, ""); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if got := s.Traces.Total(); got != 2 { // the 3rd and 6th
+		t.Fatalf("captured %d of 7 ok requests with TraceSample=3, want 2", got)
+	}
+
+	// An error is captured immediately, regardless of the counter.
+	if rec := postTraced(t, s, `{oops`, "err-1"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d", rec.Code)
+	}
+	last, ok := s.Traces.Last()
+	if !ok || last.TraceID != "err-1" || last.Outcome != "client_error" {
+		t.Fatalf("error not always-captured: %+v (total %d)", last, s.Traces.Total())
+	}
+
+	// With TraceSlow=1ns every request qualifies as slow.
+	slow := testServer(t)
+	slow.Traces = obs.NewTraceRing(8)
+	slow.TraceSlow = time.Nanosecond
+	post(t, slow, okScenario, "")
+	if got := slow.Traces.Total(); got != 1 {
+		t.Fatalf("slow trigger captured %d, want 1", got)
+	}
+
+	// Sampling disabled entirely: ok requests never captured.
+	off := testServer(t)
+	off.Traces = obs.NewTraceRing(8)
+	post(t, off, okScenario, "")
+	if got := off.Traces.Total(); got != 0 {
+		t.Fatalf("TraceSample=0 captured %d ok requests, want 0", got)
+	}
+}
+
+// TestDebugTracesEndpoint: GET /debug/traces returns the ring as
+// line-JSON, with per-stage timings, outcome, and identity populated;
+// the route is absent when tracing is off.
+func TestDebugTracesEndpoint(t *testing.T) {
+	s := testServer(t)
+	instrument(s)
+	s.Traces = obs.NewTraceRing(16)
+	s.TraceSample = 1
+
+	if rec := postTraced(t, s, okScenario, "want-this-trace"); rec.Code != http.StatusOK {
+		t.Fatalf("estimate: status %d", rec.Code)
+	}
+	rec := get(t, s, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ctNDJSON {
+		t.Fatalf("/debug/traces content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d trace lines, want 1:\n%s", len(lines), rec.Body.String())
+	}
+	var tr obs.TraceRecord
+	if err := json.Unmarshal([]byte(lines[0]), &tr); err != nil {
+		t.Fatalf("trace line not JSON: %v\n%s", err, lines[0])
+	}
+	if tr.TraceID != "want-this-trace" || tr.Outcome != "ok" || tr.Status != 200 {
+		t.Fatalf("trace record %+v", tr)
+	}
+	if tr.Registry != "test-cal" || tr.Scenarios != 1 {
+		t.Fatalf("trace provenance %+v", tr)
+	}
+	if tr.DurationNS <= 0 || tr.StartUnixNano <= 0 {
+		t.Fatalf("trace clock fields %+v", tr)
+	}
+	if len(tr.Stages) != int(obs.NumStages) {
+		t.Fatalf("stage keys %v, want all %d", tr.Stages, obs.NumStages)
+	}
+	var total int64
+	for _, ns := range tr.Stages {
+		total += ns
+	}
+	if total <= 0 {
+		t.Fatalf("no stage accumulated time: %v", tr.Stages)
+	}
+
+	// Tracing off → the route does not exist.
+	plain := testServer(t)
+	if rec := get(t, plain, "/debug/traces"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/traces without tracing: status %d, want 404", rec.Code)
+	}
+}

@@ -25,10 +25,11 @@ out+=$'\n'
 # fits stay within 10% of affine throughput.
 out+=$(go test -run '^$' -bench 'BenchmarkPiecewiseServing' .)
 out+=$'\n'
-# HTTP serving throughput, plain and instrumented (-obs). Three full
-# invocations: within each, a variant and its -obs twin run seconds
-# apart, so their ratio cancels the minute-scale load drift of a shared
-# box that single-shot or -count grouping would bake in.
+# HTTP serving throughput: plain, instrumented (-obs), and instrumented
+# with sampled tracing (-trace). Three full invocations: within each, a
+# variant and its twins run seconds apart, so their ratios cancel the
+# minute-scale load drift of a shared box that single-shot or -count
+# grouping would bake in.
 serve_out=""
 for _ in 1 2 3; do
 	serve_out+=$(go test -run '^$' -bench 'BenchmarkServeThroughput' ./internal/serve)
@@ -72,11 +73,12 @@ if verdict == "FAIL":
     sys.exit("bench: fast wire mode fell below 1M scenarios/s and below 5x the JSON path")
 EOF
 
-# Gate: metrics-enabled serving must stay within 5% of the plain warm
-# path. Verdict is the BEST paired obs/plain throughput ratio: real
-# instrumentation overhead depresses every pair, while host-load noise
-# (±5-10% on a shared box) depresses pairs independently, so a genuine
-# >5% regression fails all three pairs and a noisy dip fails only one.
+# Gate: metrics-enabled (-obs) and sampled-tracing (-trace) serving
+# must each stay within 5% of the plain warm path. Verdict is the BEST
+# paired variant/plain throughput ratio: real instrumentation overhead
+# depresses every pair, while host-load noise (±5-10% on a shared box)
+# depresses pairs independently, so a genuine >5% regression fails all
+# three pairs and a noisy dip fails only one.
 BENCH_SERVE="$serve_out" python3 - <<'EOF'
 import os, re, sys
 
@@ -93,28 +95,65 @@ for line in os.environ["BENCH_SERVE"].splitlines():
 
 failed = False
 for plain in ("single", "batch788"):
-    obs = plain + "-obs"
-    if len(rates.get(plain, [])) != len(rates.get(obs, [])) or not rates.get(plain):
-        counts = {k: len(v) for k, v in rates.items()}
-        sys.exit(f"bench: unpaired serve variants {counts}")
-    ratios = [o / p for o, p in zip(rates[obs], rates[plain])]
-    best = max(ratios)
-    verdict = "ok" if best >= 0.95 else "FAIL"
-    shown = ", ".join(f"{r:.1%}" for r in ratios)
-    print(f"bench: obs overhead {plain}: paired ratios [{shown}], "
-          f"best {best:.1%} {verdict}", file=sys.stderr)
-    failed |= best < 0.95
+    for suffix in ("-obs", "-trace"):
+        variant = plain + suffix
+        if len(rates.get(plain, [])) != len(rates.get(variant, [])) or not rates.get(plain):
+            counts = {k: len(v) for k, v in rates.items()}
+            sys.exit(f"bench: unpaired serve variants {counts}")
+        ratios = [v / p for v, p in zip(rates[variant], rates[plain])]
+        best = max(ratios)
+        verdict = "ok" if best >= 0.95 else "FAIL"
+        shown = ", ".join(f"{r:.1%}" for r in ratios)
+        print(f"bench: {suffix[1:]} overhead {plain}: paired ratios [{shown}], "
+              f"best {best:.1%} {verdict}", file=sys.stderr)
+        failed |= best < 0.95
 if failed:
-    sys.exit("bench: metrics-enabled serving fell below 95% of the plain path in every paired run")
+    sys.exit("bench: instrumented serving fell below 95% of the plain path in every paired run")
 EOF
 
+# Sampled-trace digest: run a live worker at 1-in-1 sampling, drive it
+# with predict's grid load, and keep the slowest sampled requests from
+# GET /debug/traces in the record — per-commit tail-latency anatomy
+# (which stage ate the time) next to the throughput numbers.
+tracebin=$(mktemp -d)
+trap 'rm -rf "$tracebin"' EXIT
+go build -o "$tracebin" ./cmd/serve ./cmd/predict
+trace_port=18695
+"$tracebin/serve" -addr "127.0.0.1:$trace_port" -registry paper-table3 \
+	-quiet -trace-sample 1 -answer-cache-size 0 &
+trace_pid=$!
+for _ in $(seq 50); do
+	curl -sf -o /dev/null "http://127.0.0.1:$trace_port/v1/registry" 2>/dev/null && break
+	sleep 0.1
+done
+"$tracebin/predict" -remote "http://127.0.0.1:$trace_port" -registry paper-table3 \
+	-grid -repeat 20 -trace-id "bench-$sha" >/dev/null
+trace_out=$(curl -sf "http://127.0.0.1:$trace_port/debug/traces")
+kill "$trace_pid" 2>/dev/null || true
+wait "$trace_pid" 2>/dev/null || true
+
 record=$(
-	BENCH_SHA="$sha" BENCH_OUT="$out" python3 - <<'EOF'
-import json, os, datetime
+	BENCH_SHA="$sha" BENCH_OUT="$out" BENCH_TRACES="$trace_out" python3 - <<'EOF'
+import json, os, sys, datetime
+
+traces = []
+for line in os.environ.get("BENCH_TRACES", "").splitlines():
+    line = line.strip()
+    if line:
+        traces.append(json.loads(line))
+traces.sort(key=lambda t: t.get("duration_ns", 0), reverse=True)
+slowest = [{k: t.get(k) for k in ("trace_id", "duration_ns", "outcome", "scenarios", "stage_ns")}
+           for t in traces[:5]]
+if slowest:
+    top = slowest[0]
+    print(f"bench: trace digest: {len(traces)} sampled, slowest "
+          f"{top['duration_ns']:,} ns ({top['trace_id']})", file=sys.stderr)
+
 print(json.dumps({
     "sha": os.environ["BENCH_SHA"],
     "date": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
     "bench": os.environ["BENCH_OUT"].splitlines(),
+    "trace_digest": {"sampled": len(traces), "slowest": slowest},
 }, indent=2))
 EOF
 )
