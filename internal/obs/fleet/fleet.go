@@ -64,6 +64,12 @@ type Config struct {
 	Client *http.Client
 	// Logger, when non-nil, gets one debug line per failed scrape.
 	Logger *obs.Logger
+	// OnLiveness, when non-nil, is called after every scrape attempt
+	// that changed an instance's up state (and after its first attempt,
+	// whatever the outcome) — the sharding front's failover ladder feeds
+	// on these transitions. Called outside the scraper's lock, from the
+	// scraping goroutine; keep it cheap and non-blocking.
+	OnLiveness func(instance string, up bool)
 }
 
 // instanceState is one target's scrape history. Guarded by Scraper.mu:
@@ -185,10 +191,13 @@ func (s *Scraper) scrape(ctx context.Context, t Target) (*obs.ParsedMetrics, err
 	return obs.ParsePrometheus(body)
 }
 
-// record publishes one scrape attempt's outcome under the lock.
+// record publishes one scrape attempt's outcome under the lock and
+// feeds the liveness callback on up/down transitions.
 func (s *Scraper) record(inst *instanceState, parsed *obs.ParsedMetrics, err error) {
 	now := s.now()
 	s.mu.Lock()
+	wasUp := inst.scrapes > 0 && inst.lastErr == nil
+	first := inst.scrapes == 0
 	inst.lastAttempt = now
 	inst.scrapes++
 	if err != nil {
@@ -199,7 +208,11 @@ func (s *Scraper) record(inst *instanceState, parsed *obs.ParsedMetrics, err err
 		inst.lastGood = parsed
 		inst.lastGoodAt = now
 	}
+	up := inst.lastErr == nil
 	s.mu.Unlock()
+	if s.cfg.OnLiveness != nil && (first || up != wasUp) {
+		s.cfg.OnLiveness(inst.target.name(), up)
+	}
 	if err != nil && s.cfg.Logger != nil {
 		s.cfg.Logger.Debug("fleet scrape failed",
 			obs.F("instance", inst.target.name()), obs.F("error", err.Error()))
@@ -235,6 +248,20 @@ type InstanceStatus struct {
 	Error      string    `json:"error,omitempty"`
 	Scrapes    uint64    `json:"scrapes"`
 	Failures   uint64    `json:"failures"`
+}
+
+// Up reports whether the named instance's most recent scrape attempt
+// succeeded — false for unknown names and instances never scraped. The
+// synchronous counterpart of the OnLiveness callback.
+func (s *Scraper) Up(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, inst := range s.instances {
+		if inst.target.name() == name {
+			return inst.scrapes > 0 && inst.lastErr == nil
+		}
+	}
+	return false
 }
 
 // Status reports every instance's health, sorted by name.

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedExport renders a live registry — counter, labeled counters,
+// gauge, and a populated histogram — exactly as a worker's GET /metrics
+// would.
+func fuzzSeedExport() []byte {
+	reg := NewRegistry()
+	reg.Counter("serve_requests_total", "requests by outcome",
+		Label{Key: "outcome", Value: "ok"}).Add(42)
+	reg.Counter("serve_requests_total", "requests by outcome",
+		Label{Key: "outcome", Value: "error"}).Inc()
+	reg.Gauge("serve_in_flight", "requests currently in the handler").Add(3)
+	h := reg.Histogram("serve_latency_us", "request latency in microseconds")
+	for _, v := range []uint64{0, 1, 2, 7, 100, 5000, 1 << 20} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	return buf.Bytes()
+}
+
+// FuzzParsePrometheus fuzzes the scrape parser with arbitrary text. The
+// invariants: no panic on any input, and any text the parser accepts
+// must re-emit through WritePrometheus as a canonical form that parses
+// again and re-emits byte-identically (write is a fixed point after one
+// normalization pass).
+func FuzzParsePrometheus(f *testing.F) {
+	f.Add(fuzzSeedExport())
+	f.Add([]byte("# HELP a help text\n# TYPE a counter\na 1\n"))
+	f.Add([]byte("# TYPE g gauge\ng{k=\"v\",k2=\"with \\\"quotes\\\" and \\\\\"} -5\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"0\"} 1\nh_bucket{le=\"1\"} 2\n" +
+		"h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"))
+	f.Add([]byte("# HELP only-help no type line\n"))
+	f.Add([]byte("# TYPE a counter\n# TYPE a histogram\na_bucket{le=\"+Inf\"} 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := ParsePrometheus(data)
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := p1.WritePrometheus(&b1); err != nil {
+			t.Fatalf("accepted input does not re-emit: %v", err)
+		}
+		p2, err := ParsePrometheus(b1.Bytes())
+		if err != nil {
+			t.Fatalf("re-emitted text does not re-parse: %v\n%s", err, b1.Bytes())
+		}
+		var b2 bytes.Buffer
+		if err := p2.WritePrometheus(&b2); err != nil {
+			t.Fatalf("re-parsed metrics do not re-emit: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("write is not a fixed point:\nfirst:\n%s\nsecond:\n%s", b1.Bytes(), b2.Bytes())
+		}
+	})
+}

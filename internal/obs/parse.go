@@ -92,11 +92,16 @@ func ParsePrometheus(data []byte) (*ParsedMetrics, error) {
 			case "TYPE":
 				switch rest {
 				case "counter", "gauge", "histogram":
+					// A family has exactly one type; re-typing it would leave
+					// already-parsed series with the wrong value shape.
+					if f.Kind != "" && f.Kind != rest {
+						return nil, fmt.Errorf("obs: line %d: metric %s re-typed %s → %s", lineNo, name, f.Kind, rest)
+					}
 					f.Kind = rest
 				default:
 					return nil, fmt.Errorf("obs: line %d: unsupported metric type %q", lineNo, rest)
 				}
-				if rest == "histogram" {
+				if rest == "histogram" && hists[name] == nil {
 					hists[name] = map[string]*histAssembly{}
 				}
 			}
@@ -381,6 +386,11 @@ func (p *ParsedMetrics) sorted() []*ParsedFamily {
 func (p *ParsedMetrics) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, f := range p.sorted() {
+		if f.Kind == "" {
+			// A HELP-only family (no # TYPE ever arrived) can carry no
+			// samples; an empty-kind TYPE line would not re-parse.
+			continue
+		}
 		if f.Help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, f.Help)
 		}

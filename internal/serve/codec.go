@@ -11,17 +11,20 @@ import (
 	"repro/internal/serve/wire"
 )
 
-// codecKind names the wire formats POST /v1/estimate negotiates by
+// Codec names the wire formats POST /v1/estimate negotiates by
 // Content-Type. JSON stays the default (and the golden-pinned format);
 // NDJSON is the curl-able streaming fallback; binary is the
-// length-prefixed fast path (package wire).
-type codecKind int
+// length-prefixed fast path (package wire). Exported because the
+// sharding front (internal/serve/front) speaks the same three formats:
+// it negotiates with NegotiateCodec, splits requests with the Parse
+// helpers, and merges worker answers back with the Write helpers.
+type Codec int
 
 const (
-	codecUnknown codecKind = iota - 1 // negotiation failed (415)
-	codecJSON
-	codecNDJSON
-	codecBinary
+	CodecUnknown Codec = iota - 1 // negotiation failed (415)
+	CodecJSON
+	CodecNDJSON
+	CodecBinary
 	numCodecs = 3
 )
 
@@ -35,38 +38,42 @@ const (
 	ctNDJSON = "application/x-ndjson"
 )
 
-// acceptPost is the Accept-Post header value a 415 response carries.
-const acceptPost = ctJSON + ", " + ctNDJSON + ", " + wire.ContentType
+// AcceptPost is the Accept-Post header value a 415 response carries.
+const AcceptPost = ctJSON + ", " + ctNDJSON + ", " + wire.ContentType
 
-// negotiate maps the request's Content-Type to a codec. Unknown types
-// are a 415 — falling through to the JSON decoder would surface as a
-// confusing syntax 400.
-func (s *Server) negotiate(r *http.Request) (codecKind, error) {
-	ct := r.Header.Get("Content-Type")
-	if ct == "" {
-		return codecJSON, nil
+// NegotiateCodec maps a request's Content-Type to a codec. Unknown
+// types are a 415 — falling through to the JSON decoder would surface
+// as a confusing syntax 400. wireEnabled false restricts negotiation to
+// the JSON content types (the DisableWire server mode).
+func NegotiateCodec(contentType string, wireEnabled bool) (Codec, error) {
+	if contentType == "" {
+		return CodecJSON, nil
 	}
-	mt, _, err := mime.ParseMediaType(ct)
+	mt, _, err := mime.ParseMediaType(contentType)
 	if err != nil {
-		return codecUnknown, fmt.Errorf("unparseable Content-Type %q; supported: %s", ct, acceptPost)
+		return CodecUnknown, fmt.Errorf("unparseable Content-Type %q; supported: %s", contentType, AcceptPost)
 	}
 	switch mt {
 	case ctJSON, "text/json", "application/x-www-form-urlencoded":
-		return codecJSON, nil
+		return CodecJSON, nil
 	case ctNDJSON:
-		if !s.DisableWire {
-			return codecNDJSON, nil
+		if wireEnabled {
+			return CodecNDJSON, nil
 		}
 	case wire.ContentType:
-		if !s.DisableWire {
-			return codecBinary, nil
+		if wireEnabled {
+			return CodecBinary, nil
 		}
 	}
-	return codecUnknown, fmt.Errorf("unsupported Content-Type %q; supported: %s", ct, acceptPost)
+	return CodecUnknown, fmt.Errorf("unsupported Content-Type %q; supported: %s", contentType, AcceptPost)
 }
 
-// parseNDJSON decodes one scenario object per non-blank line.
-func parseNDJSON(body []byte) ([]Scenario, error) {
+func (s *Server) negotiate(r *http.Request) (Codec, error) {
+	return NegotiateCodec(r.Header.Get("Content-Type"), !s.DisableWire)
+}
+
+// ParseNDJSON decodes one scenario object per non-blank line.
+func ParseNDJSON(body []byte) ([]Scenario, error) {
 	var scns []Scenario
 	for line := 0; len(body) > 0; {
 		raw := body
@@ -89,10 +96,10 @@ func parseNDJSON(body []byte) ([]Scenario, error) {
 	return scns, nil
 }
 
-// writeNDJSON streams one compact answer object per line. The response
-// envelope (registry, backend, provenance) travels in the X-Estimate-*
-// headers, like every response.
-func writeNDJSON(w http.ResponseWriter, answers []Answer) {
+// WriteNDJSONAnswers streams one compact answer object per line. The
+// response envelope (registry, backend, provenance) travels in the
+// X-Estimate-* headers, like every response.
+func WriteNDJSONAnswers(w http.ResponseWriter, answers []Answer) {
 	buf := getBuffer()
 	defer putBuffer(buf)
 	enc := json.NewEncoder(buf)

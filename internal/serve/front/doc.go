@@ -1,0 +1,60 @@
+// Package front is the fleet's data plane: an HTTP front that accepts
+// the exact POST /v1/estimate surface a single worker serves — JSON,
+// NDJSON, or the binary wire codec, negotiated by Content-Type — and
+// shards the scenarios of each request across N serve workers.
+//
+// # Sharding
+//
+// Every scenario hashes to an owning worker by its resolved identity
+// (machine, op, algorithm, p, m) — see Owner. The key is deterministic
+// across codecs and requests, so each worker's answer cache and
+// calibration memo see a stable partition of the keyspace: the same
+// scenario always warms the same worker, no matter which client batch
+// it arrives in. A batch envelope is split into per-worker sub-batches,
+// fanned out concurrently (one in-flight sub-request per group, bounded
+// per worker by a token-bucket gate reusing serve.Gate), and the
+// answers are merged back into the original request order. A JSON
+// response assembled from N workers is byte-identical to the response
+// one worker would have written for the whole batch; a binary response
+// is numerically identical (the same float64 bits).
+//
+// # Failover
+//
+// When a worker fails a sub-batch — connect error, timeout, 429, or a
+// 5xx — the front retries the sub-batch on the next live worker in ring
+// order. Liveness blends two sources: the front's own observations
+// (a transport error marks the worker down, a success marks it up) and
+// the fleet scraper's per-instance up state, fed through the
+// fleet.Config.OnLiveness callback into SetLive. Workers marked down
+// are skipped on the first pass of the ladder and only tried again as a
+// last resort, so a dead worker costs one sub-batch one timeout, not
+// every request one. Estimation is pure computation, so replaying a
+// possibly-half-finished sub-batch on another worker is safe.
+//
+// Worker 4xx responses other than 429 are permanent — the request
+// itself is wrong — and propagate to the client unchanged (note:
+// per-scenario indexes inside such error messages refer to the
+// sub-batch the owning worker saw, not the client's batch).
+//
+// # Coordinated reload
+//
+// POST /v1/reload rolls the fleet one worker at a time: drain the
+// worker's front-side gate (in-flight sub-requests finish, new ones
+// queue), POST its /v1/reload, undrain, move on. A worker whose rebuild
+// fails halts the rollout; the response then reports per-worker state —
+// which workers swapped, which failed, which were never asked — with
+// status 500 and "status": "partial", so the operator knows exactly how
+// far the rollout got.
+//
+// # Observability
+//
+// The front exports its own series (front_requests_total{outcome},
+// front_worker_requests_total{worker,outcome}, front_retries_total,
+// front_rebalance_total) and mounts GET /metrics as the merged fleet
+// view: the scraper's aggregation of every worker plus the front's own
+// families, one scrape for the whole data plane. Every request carries
+// an X-Trace-Id — inbound values are honored and forwarded to the
+// owning worker, so one ID follows a request through the front into the
+// worker's /debug/traces — and the ID is echoed on every response,
+// including sheds, 415s, and exhausted-failover 502s.
+package front

@@ -1,0 +1,165 @@
+package front
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+	"repro/internal/sweep"
+)
+
+// TestE2EDefaultGrid is the fleet acceptance pin: the default
+// 788-scenario sweep grid, answered through a three-worker sharded
+// fleet with validated error bounds attached, must be byte-identical
+// (JSON) and numerically identical (binary wire) to the same batch
+// answered by one worker directly — and must survive losing a worker
+// mid-load with zero failed requests.
+func TestE2EDefaultGrid(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the full-grid E2E is too slow under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("full default grid in -short mode")
+	}
+
+	// The default cmd/sweep grid, with bounds built the way
+	// `sweep -validate -cache` persists them. The registry is shared
+	// read-only across the fleet and the direct worker — what a uniform
+	// deploy from one sweep cache looks like — so every answer has one
+	// source of truth.
+	spec := sweep.Spec{
+		Algorithms: sweep.AllAlgorithms(machine.Ops),
+		Sizes:      estimate.DefaultCalibrationSizes,
+	}
+	scns, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scns) != 788 {
+		t.Fatalf("default grid expands to %d scenarios, want 788", len(scns))
+	}
+	memo := estimate.NewSampleMemo()
+	reg := estimate.StandardRegistry(estimate.RegistryConfig{Memo: memo})
+	entry, err := reg.Get("refit-default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simResults := (&sweep.Runner{Backend: estimate.Sim{Memo: memo}}).Run(scns)
+	estResults := (&sweep.Runner{Backend: entry.Backend}).Run(scns)
+	pairs, err := sweep.Pair(simResults, estResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := sweep.BuildErrorTable(entry.Backend, pairs)
+	entry.Bounds = &table
+
+	mkWorker := func(name string) *workerHandle {
+		w := newWorker(t, name, reg, memo)
+		w.srv.Default = "refit-default"
+		return w
+	}
+	direct := mkWorker("direct")
+	var ring []Worker
+	var fleet []*workerHandle
+	for _, name := range []string{"w0", "w1", "w2"} {
+		w := mkWorker(name)
+		fleet = append(fleet, w)
+		ring = append(ring, Worker{Name: w.name, URL: w.hs.URL})
+	}
+	metrics := NewMetrics(obs.NewRegistry(), WorkerNames(ring))
+	f, err := New(Config{Workers: ring, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhs := httptest.NewServer(f.Handler())
+	t.Cleanup(fhs.Close)
+	front := fhs.URL
+
+	request := make([]serve.Scenario, 0, len(scns))
+	for _, sc := range scns {
+		request = append(request, serve.Scenario{
+			Machine: sc.Machine, Op: string(sc.Op), Algorithm: sc.Algorithm, P: sc.P, M: sc.M,
+		})
+	}
+	body, err := json.Marshal(request)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON: byte identity against the direct worker, cold and warm.
+	directResp := postBody(t, direct.hs.URL+"/v1/estimate", "application/json", body, nil)
+	directBytes := readAll(t, directResp)
+	if directResp.StatusCode != http.StatusOK {
+		t.Fatalf("direct worker: %d", directResp.StatusCode)
+	}
+	for _, pass := range []string{"cold", "warm"} {
+		resp := postBody(t, front+"/v1/estimate", "application/json", body, nil)
+		got := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s fleet pass: %d %s", pass, resp.StatusCode, got[:min(len(got), 400)])
+		}
+		if !bytes.Equal(got, directBytes) {
+			t.Fatalf("%s fleet response drifted from the direct worker's (%d vs %d bytes)",
+				pass, len(got), len(directBytes))
+		}
+	}
+
+	// Every worker served a share: the grid actually sharded.
+	counts := make([]int, len(ring))
+	for _, sc := range request {
+		counts[Owner(sc.Machine, sc.Op, sc.Algorithm, sc.P, sc.M, len(ring))]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("worker %d owns no scenario of the 788 grid: %v", i, counts)
+		}
+	}
+
+	// Binary wire: the merged frame decodes to the same float64 bits the
+	// direct worker answers (and, with a deterministic encoder on both
+	// sides, the same bytes).
+	frame := wireRequest(request)
+	wd := readAll(t, postBody(t, direct.hs.URL+"/v1/estimate", wire.ContentType, frame, nil))
+	wf := readAll(t, postBody(t, front+"/v1/estimate", wire.ContentType, frame, nil))
+	var dr, fr wire.Response
+	if err := dr.Decode(wd); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Decode(wf); err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Answers) != 788 || len(fr.Answers) != 788 {
+		t.Fatalf("wire answers: direct %d, fleet %d", len(dr.Answers), len(fr.Answers))
+	}
+	for i := range dr.Answers {
+		if dr.Answers[i].Micros != fr.Answers[i].Micros {
+			t.Fatalf("wire answer %d: direct %v vs fleet %v µs", i, dr.Answers[i].Micros, fr.Answers[i].Micros)
+		}
+	}
+	if !bytes.Equal(wd, wf) {
+		t.Fatal("wire frames differ beyond numerics — encoder drift")
+	}
+
+	// Kill one worker mid-load: the full grid must still answer with
+	// zero failed requests, and the retry counter must move.
+	before := metrics.Retries()
+	fleet[1].hs.Close()
+	resp := postBody(t, front+"/v1/estimate", "application/json", body, nil)
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid failed with w1 down: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, directBytes) {
+		t.Fatal("failover response drifted from the direct worker's")
+	}
+	if metrics.Retries() == before {
+		t.Fatal("front_retries_total did not move while a worker was down")
+	}
+}

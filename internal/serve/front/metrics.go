@@ -1,0 +1,127 @@
+package front
+
+import "repro/internal/obs"
+
+// Metrics holds the front's own observability series. A nil *Metrics is
+// valid and records nothing, like serve.Metrics.
+type Metrics struct {
+	reg *obs.Registry
+
+	reqOK, reqClientErr, reqServerErr *obs.Counter
+	retries                           *obs.Counter
+	rebalance                         *obs.Counter
+	inFlight                          *obs.Gauge
+	workerOK, workerErr               map[string]*obs.Counter
+}
+
+// NewMetrics registers the front's series on reg:
+//
+//	front_requests_total{outcome}            ok | client_error | server_error
+//	front_worker_requests_total{worker,outcome}  sub-requests per worker, ok | error
+//	front_retries_total                      sub-batch attempts beyond the first
+//	front_rebalance_total                    sub-batches answered by a non-owner worker
+//	front_in_flight                          client requests currently in the handler
+//
+// workers is the fleet's worker-name list — the per-worker counters are
+// pre-registered so the request path never takes the registry's setup
+// lock.
+func NewMetrics(reg *obs.Registry, workers []string) *Metrics {
+	m := &Metrics{reg: reg,
+		workerOK:  make(map[string]*obs.Counter, len(workers)),
+		workerErr: make(map[string]*obs.Counter, len(workers)),
+	}
+	req := func(outcome string) *obs.Counter {
+		return reg.Counter("front_requests_total",
+			"client requests at the sharding front by outcome",
+			obs.Label{Key: "outcome", Value: outcome})
+	}
+	m.reqOK, m.reqClientErr, m.reqServerErr = req("ok"), req("client_error"), req("server_error")
+	m.retries = reg.Counter("front_retries_total",
+		"sub-batch attempts beyond the first (failover and retry)")
+	m.rebalance = reg.Counter("front_rebalance_total",
+		"sub-batches answered by a worker other than their shard owner")
+	m.inFlight = reg.Gauge("front_in_flight",
+		"client requests currently being handled by the front")
+	for _, w := range workers {
+		m.workerOK[w] = reg.Counter("front_worker_requests_total",
+			"sub-requests sent per worker by outcome",
+			obs.Label{Key: "worker", Value: w}, obs.Label{Key: "outcome", Value: "ok"})
+		m.workerErr[w] = reg.Counter("front_worker_requests_total",
+			"sub-requests sent per worker by outcome",
+			obs.Label{Key: "worker", Value: w}, obs.Label{Key: "outcome", Value: "error"})
+	}
+	return m
+}
+
+// Registry returns the underlying registry (nil-safe) — appended to the
+// merged fleet view by GET /metrics.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+func (m *Metrics) begin() {
+	if m != nil {
+		m.inFlight.Add(1)
+	}
+}
+
+func (m *Metrics) end() {
+	if m != nil {
+		m.inFlight.Add(-1)
+	}
+}
+
+// request folds one finished client request into the outcome series.
+func (m *Metrics) request(status int) {
+	if m == nil {
+		return
+	}
+	switch {
+	case status < 400:
+		m.reqOK.Inc()
+	case status < 500:
+		m.reqClientErr.Inc()
+	default:
+		m.reqServerErr.Inc()
+	}
+}
+
+// worker records one sub-request's outcome against its worker.
+func (m *Metrics) worker(name string, ok bool) {
+	if m == nil {
+		return
+	}
+	var c *obs.Counter
+	if ok {
+		c = m.workerOK[name]
+	} else {
+		c = m.workerErr[name]
+	}
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (m *Metrics) retried() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *Metrics) rebalanced() {
+	if m != nil {
+		m.rebalance.Inc()
+	}
+}
+
+// Retries reports the lifetime failover-retry count — what the E2E
+// harness asserts grew while a worker was down. Nil-safe.
+func (m *Metrics) Retries() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.retries.Value()
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package front
+
+const raceEnabled = false

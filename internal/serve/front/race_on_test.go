@@ -1,0 +1,7 @@
+//go:build race
+
+package front
+
+// raceEnabled gates the full-grid E2E test, which is too slow under
+// the race detector's instrumented simulator.
+const raceEnabled = true

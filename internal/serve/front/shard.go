@@ -1,0 +1,43 @@
+package front
+
+// The shard key is FNV-1a over the scenario's identity fields with a
+// separator byte between them, so ("ab","c") and ("a","bc") never
+// collide. The algorithm name is normalized first: "" and "default"
+// are the same algorithm to every worker, so they must be the same key
+// — otherwise one scenario would warm two answer caches.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// shardKey hashes one scenario's identity. p and m are mixed as
+// little-endian uint64 bytes, not decimal strings, so the key costs no
+// allocation.
+func shardKey(machine, op, alg string, p, m int) uint64 {
+	if alg == "" {
+		alg = "default"
+	}
+	h := uint64(fnvOffset)
+	for _, s := range [3]string{machine, op, alg} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime
+		}
+		h ^= 0xFF // field separator, outside the byte range of names
+		h *= fnvPrime
+	}
+	for _, v := range [2]uint64{uint64(p), uint64(m)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// Owner returns the index of the worker that owns one scenario in a
+// fleet of workers — the deterministic sharding decision, exported so
+// tests (and operators debugging a partition) can predict placement.
+func Owner(machine, op, alg string, p, m, workers int) int {
+	return int(shardKey(machine, op, alg, p, m) % uint64(workers))
+}

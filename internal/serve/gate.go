@@ -85,3 +85,38 @@ func (g *Gate) Release() {
 	}
 	g.tokens <- struct{}{}
 }
+
+// Drain takes every admission token, so it returns only once all
+// in-flight holders have Released and no new request can acquire until
+// Undrain. The front's coordinated reload drains a worker's gate before
+// asking it to rebuild, giving the rollout a quiesced worker without
+// shedding: requests arriving mid-drain wait in the bounded queue like
+// any other burst. On ctx expiry the tokens already taken are returned
+// and the drain reports failure. Nil-safe (a nil gate is always
+// drained).
+func (g *Gate) Drain(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	for i := 0; i < cap(g.tokens); i++ {
+		select {
+		case <-g.tokens:
+		case <-ctx.Done():
+			for j := 0; j < i; j++ {
+				g.tokens <- struct{}{}
+			}
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Undrain returns every token a successful Drain took. Nil-safe.
+func (g *Gate) Undrain() {
+	if g == nil {
+		return
+	}
+	for i := 0; i < cap(g.tokens); i++ {
+		g.tokens <- struct{}{}
+	}
+}

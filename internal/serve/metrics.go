@@ -51,8 +51,8 @@ var deadlineOutcomeNames = [numDeadlineOutcomes]string{"met", "degraded", "excee
 // into metric updates and an access-log line by handleEstimate.
 type reqStats struct {
 	status    int
-	registry  string    // resolved entry name; "" when none resolved
-	codec     codecKind // negotiated wire codec; codecUnknown on 415
+	registry  string // resolved entry name; "" when none resolved
+	codec     Codec  // negotiated wire codec; CodecUnknown on 415
 	shed      shedReason
 	scenarios int
 	fallbacks int
@@ -137,7 +137,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 	m.bounds = reg.Counter("serve_bounds_attached_total",
 		"served answers carrying a validated expected_error bound")
-	for c := codecKind(0); c < numCodecs; c++ {
+	for c := Codec(0); c < numCodecs; c++ {
 		m.wire[c] = reg.Counter("serve_wire_requests_total",
 			"estimate requests by negotiated wire codec",
 			obs.Label{Key: "codec", Value: codecNames[c]})

@@ -418,7 +418,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // still errors, so the trace ring always captures them (with empty
 // stages: the request never reached the worker pool).
 func (s *Server) shed(w http.ResponseWriter, r *http.Request, err error) {
-	st := reqStats{codec: codecUnknown}
+	st := reqStats{codec: CodecUnknown}
 	if errors.Is(err, ErrQueueFull) {
 		st.status = http.StatusTooManyRequests
 		st.shed = shedQueueFull
@@ -565,7 +565,7 @@ func setProvenance(w http.ResponseWriter, e *estimate.Entry) {
 // serveEstimate does the work of POST /v1/estimate and reports the
 // request's outcome for instrumentation. tr may be nil.
 func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.Trace) reqStats {
-	st := reqStats{status: http.StatusOK, codec: codecUnknown}
+	st := reqStats{status: http.StatusOK, codec: CodecUnknown}
 	// Until the request names a registry, errors are attributed to the
 	// default entry — the one that would have answered — so 4xx/5xx
 	// responses carry the same provenance headers as successes. An
@@ -582,7 +582,7 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	}
 	codec, err := s.negotiate(r)
 	if err != nil {
-		w.Header().Set("Accept-Post", acceptPost)
+		w.Header().Set("Accept-Post", AcceptPost)
 		return fail(http.StatusUnsupportedMediaType, err)
 	}
 	st.codec = codec
@@ -616,14 +616,14 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	var regName string
 	var scns []Scenario
 	switch codec {
-	case codecNDJSON:
-		scns, err = parseNDJSON(body)
-	case codecBinary:
+	case CodecNDJSON:
+		scns, err = ParseNDJSON(body)
+	case CodecBinary:
 		if err = scr.wreq.Decode(body); err == nil {
 			regName = scr.wreq.Registry
 		}
 	default:
-		regName, scns, err = parseEstimateRequest(body)
+		regName, scns, err = ParseJSONRequest(body)
 	}
 	tm.mark(obs.StageDecode)
 	if err != nil {
@@ -640,7 +640,7 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	}
 	st.registry = entry.Name
 	n := len(scns)
-	if codec == codecBinary {
+	if codec == CodecBinary {
 		n = len(scr.wreq.Records)
 	}
 	if n == 0 {
@@ -651,7 +651,7 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 			fmt.Errorf("%d scenarios exceed the batch cap of %d", n, s.maxBatch()))
 	}
 	res := scr.resolvedSlice(n)
-	if codec == codecBinary {
+	if codec == CodecBinary {
 		if err := s.resolveWire(&scr.wreq, scr, res); err != nil {
 			return fail(http.StatusBadRequest, err)
 		}
@@ -746,9 +746,9 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, tr *obs.T
 	setProvenance(w, entry)
 	w.Header().Set("X-Estimate-Cache", cacheVerdict(s.Cache, st))
 	switch codec {
-	case codecNDJSON:
-		writeNDJSON(w, answers)
-	case codecBinary:
+	case CodecNDJSON:
+		WriteNDJSONAnswers(w, answers)
+	case CodecBinary:
 		writeWire(w, scr, entry.Name, entry.Backend.Name(), entry.Backend.Provenance(), answers)
 	default:
 		resp := Response{
@@ -849,11 +849,11 @@ func (s *Server) answerCached(ctx context.Context, entry *estimate.Entry, epoch 
 	return e.ans, cacheHit, e.err
 }
 
-// parseEstimateRequest accepts the three request shapes: a bare
+// ParseJSONRequest accepts the three request shapes: a bare
 // scenario object, a bare scenario array, or an envelope
 // {registry, scenarios}. The registry name is empty unless the envelope
 // carried one.
-func parseEstimateRequest(body []byte) (registry string, scns []Scenario, err error) {
+func ParseJSONRequest(body []byte) (registry string, scns []Scenario, err error) {
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
 	if len(trimmed) > 0 && trimmed[0] == '[' {
 		if err := json.Unmarshal(body, &scns); err != nil {
@@ -1184,4 +1184,29 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, struct {
 		Error string `json:"error"`
 	}{err.Error()})
+}
+
+// WriteJSONResponse encodes one estimate response exactly the way the
+// worker handler does (two-space indent, trailing newline) — the
+// sharding front merges worker answers and re-encodes through this, so
+// a response assembled from N workers is byte-identical to one a single
+// worker would have written.
+func WriteJSONResponse(w http.ResponseWriter, resp *Response) {
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// WriteJSONError emits the service's JSON error envelope — shared with
+// the front so shed and failover errors look like worker errors.
+func WriteJSONError(w http.ResponseWriter, status int, err error) {
+	writeError(w, status, err)
+}
+
+// SetProvenanceHeaders stamps the X-Estimate-* headers from an already
+// known envelope — the front's variant of setProvenance, which works
+// from a worker response instead of a registry entry.
+func SetProvenanceHeaders(w http.ResponseWriter, registry, backend, provenance string) {
+	h := w.Header()
+	h.Set("X-Estimate-Registry", registry)
+	h.Set("X-Estimate-Backend", backend)
+	h.Set("X-Estimate-Provenance", provenance)
 }

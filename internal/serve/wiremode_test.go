@@ -48,8 +48,8 @@ func TestContentTypeNegotiation(t *testing.T) {
 		if rec.Code != http.StatusUnsupportedMediaType {
 			t.Fatalf("Content-Type %q: status %d, want 415", ct, rec.Code)
 		}
-		if got := rec.Header().Get("Accept-Post"); got != acceptPost {
-			t.Fatalf("Accept-Post %q, want %q", got, acceptPost)
+		if got := rec.Header().Get("Accept-Post"); got != AcceptPost {
+			t.Fatalf("Accept-Post %q, want %q", got, AcceptPost)
 		}
 		var e struct {
 			Error string `json:"error"`

@@ -117,7 +117,60 @@ EOF
 # (which stage ate the time) next to the throughput numbers.
 tracebin=$(mktemp -d)
 trap 'rm -rf "$tracebin"' EXIT
-go build -o "$tracebin" ./cmd/serve ./cmd/predict
+go build -o "$tracebin" ./cmd/serve ./cmd/predict ./cmd/fleetfront
+
+# Front overhead: the batch788 grid through the sharding front over two
+# workers vs one of those workers answering directly. Tracked, not
+# gated — the target is ≤15% overhead (one extra hop, split/merge, and
+# the per-worker gates). Both paths are warmed once so answer-cache
+# fills don't land on either side of the comparison.
+fw0_port=18696 fw1_port=18697 front_port=18698
+"$tracebin/serve" -addr "127.0.0.1:$fw0_port" -registry paper-table3 -quiet &
+fw0_pid=$!
+"$tracebin/serve" -addr "127.0.0.1:$fw1_port" -registry paper-table3 -quiet &
+fw1_pid=$!
+"$tracebin/fleetfront" -addr "127.0.0.1:$front_port" -quiet -scrape-interval 0 \
+	-workers "w0=127.0.0.1:$fw0_port,w1=127.0.0.1:$fw1_port" &
+front_pid=$!
+for url in "http://127.0.0.1:$fw0_port/v1/registry" \
+	"http://127.0.0.1:$fw1_port/v1/registry" \
+	"http://127.0.0.1:$front_port/v1/registry"; do
+	for _ in $(seq 50); do
+		curl -sf -o /dev/null "$url" 2>/dev/null && break
+		sleep 0.1
+	done
+done
+front_reps=10
+front_times=$(
+	for target in "direct=http://127.0.0.1:$fw0_port" "front=http://127.0.0.1:$front_port"; do
+		name=${target%%=*} url=${target#*=}
+		"$tracebin/predict" -remote "$url" -registry paper-table3 -grid >/dev/null # warm
+		start=$(python3 -c 'import time; print(time.monotonic())')
+		"$tracebin/predict" -remote "$url" -registry paper-table3 -grid -repeat "$front_reps" >/dev/null
+		end=$(python3 -c 'import time; print(time.monotonic())')
+		echo "$name $start $end"
+	done
+)
+front_row=$(FRONT_TIMES="$front_times" FRONT_REPS="$front_reps" python3 - <<'EOF'
+import os
+
+reps, grid = int(os.environ["FRONT_REPS"]), 788
+rates = {}
+for line in os.environ["FRONT_TIMES"].splitlines():
+    name, start, end = line.split()
+    rates[name] = reps * grid / (float(end) - float(start))
+ratio = rates["front"] / rates["direct"]
+verdict = "ok" if ratio >= 0.85 else "over-target"
+print(f"BenchmarkFleetFront/json-batch788 direct {rates['direct']:,.0f} scenarios/s, "
+      f"fronted {rates['front']:,.0f} scenarios/s ({ratio:.1%} of direct, "
+      f"target >=85%) {verdict} [non-gating]")
+EOF
+)
+echo "bench: $front_row" >&2
+out+=$front_row
+out+=$'\n'
+kill "$front_pid" "$fw0_pid" "$fw1_pid" 2>/dev/null || true
+wait "$front_pid" "$fw0_pid" "$fw1_pid" 2>/dev/null || true
 trace_port=18695
 "$tracebin/serve" -addr "127.0.0.1:$trace_port" -registry paper-table3 \
 	-quiet -trace-sample 1 -answer-cache-size 0 &
